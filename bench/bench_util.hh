@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: run a systolic config on
+ * the EQueue engine, pull SRAM stats, format rows.
+ */
+
+#ifndef EQ_BENCH_BENCH_UTIL_HH
+#define EQ_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ir/builder.hh"
+#include "scalesim/scalesim.hh"
+#include "sim/engine.hh"
+#include "systolic/generator.hh"
+
+namespace eq {
+namespace bench {
+
+/** Engine-side result of simulating one systolic configuration. */
+struct SystolicRun {
+    sim::SimReport report;
+    int64_t sramReadBytes = 0;
+    int64_t sramWriteBytes = 0;
+    double ofmapWriteBw = 0.0;
+};
+
+inline SystolicRun
+runSystolic(const scalesim::Config &cfg)
+{
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = systolic::buildSystolicModule(ctx, cfg);
+    sim::Simulator s;
+    SystolicRun run;
+    run.report = s.simulate(module.get());
+    for (const auto &m : run.report.memories) {
+        if (m.kind == "SRAM") {
+            run.sramReadBytes += m.bytesRead;
+            run.sramWriteBytes += m.bytesWritten;
+        }
+    }
+    run.ofmapWriteBw =
+        run.sramWriteBytes /
+        std::max<double>(1.0, double(run.report.cycles));
+    return run;
+}
+
+/** True when the full (slow) sweep was requested via EQ_FULL_SWEEP=1. */
+inline bool
+fullSweepRequested()
+{
+    const char *env = std::getenv("EQ_FULL_SWEEP");
+    return env && std::string(env) == "1";
+}
+
+} // namespace bench
+} // namespace eq
+
+#endif // EQ_BENCH_BENCH_UTIL_HH

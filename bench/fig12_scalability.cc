@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig. 12a-e: scalability of the simulator across the paper's
+ * configuration space: Ah in {2,4,8,16,32} with Aw = 64/Ah, H = W in
+ * {2..32}, Fh = Fw = C in {1,2,4}, N in {1..32}, all three dataflows
+ * (4,050 points in the paper).
+ *
+ * By default a stratified sample runs (keeps the harness minutes-fast);
+ * set EQ_FULL_SWEEP=1 for the complete grid.
+ *
+ * Columns: simulated cycles (x-axis of every subplot), simulator
+ * execution time (12a), SRAM peak write BW x portion (12b), and loop
+ * iterations = ceil(D1/Ah)*ceil(D2/Aw) (12c-e).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace eq;
+
+int
+main()
+{
+    const bool full = bench::fullSweepRequested();
+    std::vector<int> ahs = full ? std::vector<int>{2, 4, 8, 16, 32}
+                                : std::vector<int>{2, 8, 32};
+    std::vector<int> hws = full ? std::vector<int>{2, 4, 8, 16, 32}
+                                : std::vector<int>{4, 16};
+    std::vector<int> fcs = full ? std::vector<int>{1, 2, 4}
+                                : std::vector<int>{1, 2};
+    std::vector<int> ns = full ? std::vector<int>{1, 2, 4, 8, 16, 32}
+                               : std::vector<int>{2, 8};
+
+    std::printf("# Fig 12: scalability sweep (%s)\n",
+                full ? "full grid" : "sampled; EQ_FULL_SWEEP=1 for all");
+    std::printf("%-4s %-3s %-3s %-3s %-3s %-3s %12s %10s %14s %10s\n",
+                "df", "Ah", "Aw", "HW", "F", "N", "cycles", "wall_s",
+                "peakWBWxPort", "loopIters");
+
+    int count = 0;
+    for (auto df : {scalesim::Dataflow::WS, scalesim::Dataflow::IS,
+                    scalesim::Dataflow::OS}) {
+        for (int ah : ahs) {
+            for (int hw : hws) {
+                for (int f : fcs) {
+                    for (int n : ns) {
+                        scalesim::Config cfg;
+                        cfg.ah = ah;
+                        cfg.aw = 64 / ah;
+                        cfg.c = f;
+                        cfg.h = cfg.w = hw;
+                        cfg.n = n;
+                        cfg.fh = cfg.fw = f;
+                        cfg.dataflow = df;
+                        if (cfg.h < cfg.fh)
+                            continue;
+                        auto run = bench::runSystolic(cfg);
+                        auto ss = scalesim::simulate(cfg);
+                        std::printf("%-4s %-3d %-3d %-3d %-3d %-3d "
+                                    "%12llu %10.4f %14.3f %10llu\n",
+                                    scalesim::dataflowName(df).c_str(),
+                                    ah, cfg.aw, hw, f, n,
+                                    static_cast<unsigned long long>(
+                                        run.report.cycles),
+                                    run.report.wallSeconds,
+                                    ss.peakWriteBwTimesPortion,
+                                    static_cast<unsigned long long>(
+                                        ss.loopIterations));
+                        ++count;
+                    }
+                }
+            }
+        }
+    }
+    std::printf("# %d configurations simulated; execution time scales "
+                "with cycle count (12a);\n"
+                "# loop iterations follow ceil(D1/Ah)*ceil(D2/Aw) "
+                "(12c-e).\n",
+                count);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 13 / Fig. 14: operation-level traces of the bandwidth-limited
+ * 16-core FIR (stalls 3 of every 4 cycles) and the balanced 4-core FIR
+ * (no stalls after warm-up). Writes Chrome-trace JSON files next to the
+ * binary and prints a per-core steady-state stall analysis.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "aie/fir.hh"
+#include "sim/engine.hh"
+
+using namespace eq;
+
+namespace {
+
+void
+traceCase(const char *label, const aie::FirConfig &cfg,
+          const std::string &path)
+{
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = aie::buildFirModule(ctx, cfg);
+    sim::EngineOptions opts;
+    opts.enableTrace = true;
+    sim::Simulator s(opts);
+    auto rep = s.simulate(module.get());
+    s.trace().writeFile(path);
+
+    // Steady-state analysis: distance between consecutive compute slices
+    // per core vs. the slice length (1 cycle).
+    std::map<std::string, std::pair<uint64_t, uint64_t>> gaps; // last,sum
+    std::map<std::string, uint64_t> counts;
+    for (const auto &e : s.trace().events()) {
+        if (e.name != "mac4" && e.name != "mul4")
+            continue;
+        auto it = gaps.find(e.tid);
+        if (it != gaps.end()) {
+            it->second.second += e.ts - it->second.first;
+            counts[e.tid]++;
+        }
+        gaps[e.tid].first = e.ts;
+    }
+    double avg_interval = 0.0;
+    int cores = 0;
+    for (const auto &[tid, pair] : gaps) {
+        if (counts[tid] == 0)
+            continue;
+        avg_interval += double(pair.second) / counts[tid];
+        ++cores;
+    }
+    if (cores)
+        avg_interval /= cores;
+    std::printf("%-28s cycles=%-7llu trace_events=%-7zu "
+                "avg_compute_interval=%.2f -> %s\n",
+                label, static_cast<unsigned long long>(rep.cycles),
+                s.trace().events().size(), avg_interval, path.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Fig 13/14: operation-wise traces (open in "
+                "chrome://tracing or Perfetto)\n");
+    // Fig 13: each compute op recurs every ~4 cycles (3 stall cycles).
+    traceCase("fig13: 16 cores, 32-bit BW", aie::FirConfig::case3(),
+              "fir_case3.trace.json");
+    // Fig 14: back-to-back computes once warmed up (interval ~1).
+    traceCase("fig14: 4 cores, balanced", aie::FirConfig::case4(),
+              "fir_case4.trace.json");
+    std::printf("# fig13 expectation: interval ~4 (stall 3 of 4); fig14: "
+                "interval ~1 (no stalls).\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 9c/9d: EQueue vs SCALE-Sim on a 4x4 WS systolic array with a
+ * fixed 32x32 ifmap, sweeping the filter size (2x2 .. 32x32, C = 3).
+ * Reports simulated cycles and average SRAM ofmap write bandwidth.
+ *
+ * Note on shape: cycles grow with the filter until the ofmap collapses
+ * (Fh = H leaves a single output pixel), an artifact of the edge of the
+ * mapping space; the paper's sweep stays left of that point.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace eq;
+    std::printf("# Fig 9c/9d: 4x4 WS array, ifmap fixed at 32x32, "
+                "weights swept\n");
+    std::printf("%-8s %12s %12s %16s %16s %12s %12s\n", "weight",
+                "eq_cycles", "ss_cycles", "eq_ofmap_wr_bw",
+                "ss_ofmap_wr_bw", "eq_wall_s", "ss_wall_s");
+
+    for (int f : {2, 4, 8, 16, 32}) {
+        scalesim::Config cfg;
+        cfg.ah = cfg.aw = 4;
+        cfg.c = 3;
+        cfg.h = cfg.w = 32;
+        cfg.n = 1;
+        cfg.fh = cfg.fw = f;
+        cfg.dataflow = scalesim::Dataflow::WS;
+
+        auto t0 = std::chrono::steady_clock::now();
+        auto eq_run = bench::runSystolic(cfg);
+        auto t1 = std::chrono::steady_clock::now();
+        auto ss = scalesim::simulate(cfg);
+        auto t2 = std::chrono::steady_clock::now();
+
+        std::printf("%dx%-6d %12llu %12llu %16.4f %16.4f %12.4f %12.6f\n",
+                    f, f,
+                    static_cast<unsigned long long>(eq_run.report.cycles),
+                    static_cast<unsigned long long>(ss.cycles),
+                    eq_run.ofmapWriteBw, ss.avgOfmapWriteBw,
+                    std::chrono::duration<double>(t1 - t0).count(),
+                    std::chrono::duration<double>(t2 - t1).count());
+    }
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the engine's primitives: module
+ * construction, event dispatch, block interpretation, and full systolic
+ * simulations at several sizes. These quantify the constant factors
+ * behind Fig. 12a's execution-time scaling.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "dialects/arith.hh"
+#include "dialects/equeue.hh"
+
+using namespace eq;
+
+namespace {
+
+void
+BM_BuildSystolicModule(benchmark::State &state)
+{
+    scalesim::Config cfg;
+    cfg.ah = cfg.aw = static_cast<int>(state.range(0));
+    cfg.c = 2;
+    cfg.h = cfg.w = 8;
+    cfg.n = 4;
+    cfg.fh = cfg.fw = 2;
+    for (auto _ : state) {
+        ir::Context ctx;
+        ir::registerAllDialects(ctx);
+        auto module = systolic::buildSystolicModule(ctx, cfg);
+        benchmark::DoNotOptimize(module.get());
+    }
+}
+BENCHMARK(BM_BuildSystolicModule)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_SimulateSystolic(benchmark::State &state)
+{
+    scalesim::Config cfg;
+    cfg.ah = cfg.aw = 4;
+    cfg.c = 2;
+    cfg.h = cfg.w = static_cast<int>(state.range(0));
+    cfg.n = 2;
+    cfg.fh = cfg.fw = 2;
+    for (auto _ : state) {
+        auto run = bench::runSystolic(cfg);
+        benchmark::DoNotOptimize(run.report.cycles);
+    }
+    state.counters["cycles"] = static_cast<double>(
+        bench::runSystolic(cfg).report.cycles);
+}
+BENCHMARK(BM_SimulateSystolic)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_ScaleSimAnalytic(benchmark::State &state)
+{
+    scalesim::Config cfg;
+    cfg.ah = cfg.aw = 4;
+    cfg.c = 2;
+    cfg.h = cfg.w = static_cast<int>(state.range(0));
+    cfg.n = 2;
+    cfg.fh = cfg.fw = 2;
+    for (auto _ : state) {
+        auto r = scalesim::simulate(cfg);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_ScaleSimAnalytic)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_EventDispatch(benchmark::State &state)
+{
+    // N chained 1-op launches on one processor: measures per-event cost.
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        ir::Context ctx;
+        ir::registerAllDialects(ctx);
+        auto module = ir::createModule(ctx);
+        ir::OpBuilder b(ctx);
+        b.setInsertionPointToEnd(&module->region(0).front());
+        auto proc = b.create<equeue::CreateProcOp>(std::string("ARMr5"));
+        auto start = b.create<equeue::ControlStartOp>();
+        ir::Value dep = start->result(0);
+        for (int i = 0; i < n; ++i) {
+            auto launch = b.create<equeue::LaunchOp>(
+                std::vector<ir::Value>{dep}, proc->result(0),
+                std::vector<ir::Value>{}, std::vector<ir::Type>{});
+            {
+                ir::OpBuilder::InsertionGuard g(b);
+                equeue::LaunchOp l(launch.op());
+                b.setInsertionPointToEnd(&l.body());
+                auto c =
+                    b.create<arith::ConstantOp>(int64_t{1}, ctx.i32Type());
+                b.create<arith::AddIOp>(c->result(0), c->result(0));
+                b.create<equeue::ReturnOp>(std::vector<ir::Value>{});
+            }
+            dep = launch->result(0);
+        }
+        b.create<equeue::AwaitOp>(std::vector<ir::Value>{dep});
+        state.ResumeTiming();
+        sim::Simulator s;
+        auto rep = s.simulate(module.get());
+        benchmark::DoNotOptimize(rep.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventDispatch)->Arg(100)->Arg(1000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Section VII cycle-count table: the four FIR design points on the AI
+ * Engine model, compared against the numbers the paper reports for its
+ * EQueue implementation and for Xilinx's closed-source aiesimulator.
+ */
+
+#include <cstdio>
+
+#include "aie/fir.hh"
+#include "sim/engine.hh"
+
+using namespace eq;
+
+namespace {
+
+struct Reference {
+    const char *name;
+    aie::FirConfig cfg;
+    unsigned paper_equeue; ///< cycles the paper's EQueue model reports
+    unsigned paper_aiesim; ///< cycles Xilinx's aiesimulator reports (0 =
+                           ///< not reported for this case)
+};
+
+} // namespace
+
+int
+main()
+{
+    const Reference refs[] = {
+        {"case1: 1 core, unlimited BW", aie::FirConfig::case1(), 2048,
+         2276},
+        {"case2: 16 cores, unlimited BW", aie::FirConfig::case2(), 143,
+         0},
+        {"case3: 16 cores, 32-bit streams", aie::FirConfig::case3(), 588,
+         0},
+        {"case4: 4 cores, 32-bit streams", aie::FirConfig::case4(), 538,
+         539},
+    };
+
+    std::printf("# Section VII: 32-tap FIR over 512 samples on the AI "
+                "Engine model\n");
+    std::printf("%-34s %10s %12s %12s %10s\n", "design point", "cycles",
+                "paper_eq", "paper_aiesim", "wall_s");
+    for (const auto &ref : refs) {
+        ir::Context ctx;
+        ir::registerAllDialects(ctx);
+        auto module = aie::buildFirModule(ctx, ref.cfg);
+        sim::Simulator s;
+        auto rep = s.simulate(module.get());
+        std::printf("%-34s %10llu %12u %12s %10.4f\n", ref.name,
+                    static_cast<unsigned long long>(rep.cycles),
+                    ref.paper_equeue,
+                    ref.paper_aiesim
+                        ? std::to_string(ref.paper_aiesim).c_str()
+                        : "-",
+                    rep.wallSeconds);
+    }
+    std::printf("# paper: the 4-core EQueue model simulates in 0.07 s "
+                "while aiesim needs\n"
+                "# ~5 min compile + ~3 min simulate; case4 differs from "
+                "the paper's 538 by\n"
+                "# the write-interleave point (<= 1.2%%).\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Section VI-C code-size comparison: the paper reports that SCALE-Sim
+ * implements WS in 569 lines of Python and needs 410 changed lines to
+ * switch WS -> IS, while its EQueue generator needs 281 lines of C++
+ * and an 11-line change.
+ *
+ * We measure the same quantities on this repository: the systolic
+ * generator's line count, and the number of lines that are conditional
+ * on the dataflow (the switch cost), counted from the source itself.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+int
+countLines(const std::string &path, bool only_dataflow_dependent)
+{
+    std::ifstream in(path);
+    if (!in)
+        return -1;
+    int total = 0;
+    int dataflow_dependent = 0;
+    std::string line;
+    bool in_df_block = false;
+    int depth = 0;
+    while (std::getline(in, line)) {
+        bool nonempty = line.find_first_not_of(" \t") != std::string::npos;
+        if (!nonempty)
+            continue;
+        ++total;
+        // Heuristic: lines mentioning a dataflow enum or guarded by a
+        // dataflow conditional are the ones a WS->IS switch touches.
+        bool mentions = line.find("Dataflow::") != std::string::npos ||
+                        line.find("dataflow") != std::string::npos;
+        if (mentions && line.find("if") != std::string::npos) {
+            in_df_block = true;
+            depth = 0;
+        }
+        if (mentions || in_df_block)
+            ++dataflow_dependent;
+        if (in_df_block) {
+            for (char c : line) {
+                if (c == '{')
+                    ++depth;
+                if (c == '}')
+                    --depth;
+            }
+            if (depth <= 0 && line.find('}') != std::string::npos)
+                in_df_block = false;
+        }
+    }
+    return only_dataflow_dependent ? dataflow_dependent : total;
+}
+
+} // namespace
+
+int
+main()
+{
+    const char *gen_cc = "../src/systolic/generator.cc";
+    const char *gen_hh = "../src/systolic/generator.hh";
+    // Allow running from the repo root as well as from build/.
+    auto count_both = [&](bool df_only) {
+        int a = countLines(gen_cc, df_only);
+        int b = countLines(gen_hh, df_only);
+        if (a < 0 || b < 0) {
+            a = countLines("src/systolic/generator.cc", df_only);
+            b = countLines("src/systolic/generator.hh", df_only);
+        }
+        if (a < 0 || b < 0) {
+            a = countLines("/root/repo/src/systolic/generator.cc",
+                           df_only);
+            b = countLines("/root/repo/src/systolic/generator.hh",
+                           df_only);
+        }
+        return (a < 0 || b < 0) ? -1 : a + b;
+    };
+    int total = count_both(false);
+    int switch_cost = count_both(true);
+
+    std::printf("# Section VI-C: implementation size and WS->IS switch "
+                "cost\n");
+    std::printf("%-34s %10s %14s\n", "implementation", "LOC",
+                "WS->IS delta");
+    std::printf("%-34s %10d %14d\n",
+                "this repo: EQueue generator (C++)", total, switch_cost);
+    std::printf("%-34s %10d %14d\n", "paper: EQueue generator (C++)", 281,
+                11);
+    std::printf("%-34s %10d %14d\n", "paper: SCALE-Sim (Python)", 569,
+                410);
+    std::printf("# shape: all three dataflows share one generator; the "
+                "dataflow-dependent\n"
+                "# lines are an order of magnitude fewer than a one-off "
+                "simulator rewrite.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The AI Engine FIR case study of Section VII as a guided walkthrough:
+ * start with one core, pipeline 16, add real bandwidth constraints,
+ * then balance the design down to 4 cores; write the visualizable trace
+ * of each step.
+ *
+ *   $ ./fir_aie [trace_dir]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "aie/fir.hh"
+#include "sim/engine.hh"
+
+using namespace eq;
+
+namespace {
+
+void
+runCase(const char *label, const aie::FirConfig &cfg,
+        const std::string &trace_path)
+{
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = aie::buildFirModule(ctx, cfg);
+    sim::EngineOptions opts;
+    opts.enableTrace = true;
+    sim::Simulator s(opts);
+    auto rep = s.simulate(module.get());
+    s.trace().writeFile(trace_path);
+
+    double util = 0.0;
+    int cores = 0;
+    for (const auto &p : rep.processors) {
+        if (p.kind == "AIEngine") {
+            util += p.utilization;
+            ++cores;
+        }
+    }
+    std::printf("%-36s %6llu cycles | %2d cores | avg util %5.1f%% | "
+                "trace: %s\n",
+                label, static_cast<unsigned long long>(rep.cycles),
+                cores, cores ? 100.0 * util / cores : 0.0,
+                trace_path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir = argc > 1 ? std::string(argv[1]) + "/" : "";
+    std::printf("32-tap FIR, 512 samples on the Versal AI Engine model "
+                "(Section VII)\n\n");
+    runCase("case 1: single core", aie::FirConfig::case1(),
+            dir + "fir_case1.json");
+    runCase("case 2: 16-core pipeline", aie::FirConfig::case2(),
+            dir + "fir_case2.json");
+    runCase("case 3: + 32-bit stream limits", aie::FirConfig::case3(),
+            dir + "fir_case3.json");
+    runCase("case 4: balanced at 4 cores", aie::FirConfig::case4(),
+            dir + "fir_case4.json");
+    std::printf("\ncase 3 wastes 3 of 4 compute cycles on stalls "
+                "(Fig. 13); the balanced\n4-core design keeps every "
+                "core busy (Fig. 14). Open the traces in\n"
+                "chrome://tracing to see it.\n");
+    return 0;
+}

@@ -1,0 +1,216 @@
+#include "aie/fir.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "dialects/affine.hh"
+#include "dialects/equeue.hh"
+
+namespace eq {
+namespace aie {
+
+FirConfig
+FirConfig::case1()
+{
+    FirConfig c;
+    c.cores = 1;
+    c.streamBandwidth = 0;
+    return c;
+}
+
+FirConfig
+FirConfig::case2()
+{
+    FirConfig c;
+    c.cores = 16;
+    c.streamBandwidth = 0;
+    return c;
+}
+
+FirConfig
+FirConfig::case3()
+{
+    FirConfig c;
+    c.cores = 16;
+    c.streamBandwidth = 4; // 32-bit AXI4-Stream
+    return c;
+}
+
+FirConfig
+FirConfig::case4()
+{
+    FirConfig c;
+    c.cores = 4;
+    c.streamBandwidth = 4;
+    c.writeAfterOps = 2; // the tutorial interleaves the output write
+    return c;
+}
+
+ir::OwningOpRef
+buildFirModule(ir::Context &ctx, const FirConfig &cfg)
+{
+    eq_assert(cfg.taps % 2 == 0, "taps must be even (2 MACs per lane)");
+    eq_assert(cfg.samples % cfg.lanes() == 0,
+              "samples must be a multiple of the lane count");
+    eq_assert(cfg.totalOpsPerGroup() % cfg.cores == 0,
+              "cores must evenly divide taps/2");
+
+    ir::OwningOpRef module = ir::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(&module->region(0).front());
+    using ir::Value;
+
+    // ---- structure -----------------------------------------------------
+    // Host staging memory feeding the input stream; one AI Engine core,
+    // register file, and inter-core stream per pipeline stage.
+    Value host_mem = b.create<equeue::CreateMemOp>(
+                          std::string("Register"),
+                          std::vector<int64_t>{cfg.samples}, 32u, 1u)
+                         ->result(0);
+    Value src_buf = b.create<equeue::AllocOp>(
+                         host_mem, std::vector<int64_t>{cfg.samples}, 32u)
+                        ->result(0);
+
+    std::vector<Value> cores, ifmaps, filters, ofmaps;
+    std::vector<Value> streams;  // streams[k] feeds core k; [cores] = sout
+    std::vector<Value> conns;    // conns[k] carries core k's output
+    auto comp = b.create<equeue::CreateCompOp>(std::string("HostMem"),
+                                               std::vector<Value>{host_mem});
+    for (int k = 0; k <= cfg.cores; ++k) {
+        streams.push_back(
+            b.create<equeue::CreateStreamOp>(32u)->result(0));
+    }
+    for (int k = 0; k < cfg.cores; ++k) {
+        Value core =
+            b.create<equeue::CreateProcOp>(std::string("AIEngine"))
+                ->result(0);
+        Value rmem = b.create<equeue::CreateMemOp>(
+                          std::string("Register"),
+                          std::vector<int64_t>{64}, 32u, 4u)
+                         ->result(0);
+        std::string id = std::to_string(k);
+        b.create<equeue::AddCompOp>(comp->result(0),
+                                    "AIE_" + id + " RF_" + id,
+                                    std::vector<Value>{core, rmem});
+        cores.push_back(core);
+        ifmaps.push_back(b.create<equeue::AllocOp>(
+                              rmem, std::vector<int64_t>{8}, 32u)
+                             ->result(0));
+        filters.push_back(
+            b.create<equeue::AllocOp>(
+                 rmem, std::vector<int64_t>{cfg.taps}, 32u)
+                ->result(0));
+        ofmaps.push_back(b.create<equeue::AllocOp>(
+                              rmem, std::vector<int64_t>{4}, 32u)
+                             ->result(0));
+        if (cfg.streamBandwidth > 0) {
+            conns.push_back(b.create<equeue::CreateConnectionOp>(
+                                 std::string("Streaming"),
+                                 cfg.streamBandwidth)
+                                ->result(0));
+        } else {
+            conns.push_back(Value());
+        }
+    }
+
+    // ---- pre-fill the input stream (available at cycle 0) ---------------
+    Value samples_tensor =
+        b.create<equeue::ReadOp>(src_buf, Value(), std::vector<Value>{})
+            ->result(0);
+    b.create<equeue::StreamWriteOp>(samples_tensor, streams[0], Value());
+
+    // ---- per-core pipeline stages ---------------------------------------
+    auto start = b.create<equeue::ControlStartOp>();
+    std::vector<Value> dones;
+    for (int k = 0; k < cfg.cores; ++k) {
+        std::vector<Value> captured{streams[k], streams[k + 1], ifmaps[k],
+                                    filters[k], ofmaps[k]};
+        if (conns[k])
+            captured.push_back(conns[k]);
+        auto launch = b.create<equeue::LaunchOp>(
+            std::vector<Value>{start->result(0)}, cores[k], captured,
+            std::vector<ir::Type>{});
+        dones.push_back(launch->result(0));
+        ir::OpBuilder::InsertionGuard g(b);
+        equeue::LaunchOp l(launch.op());
+        b.setInsertionPointToEnd(&l.body());
+        Value s_in = l.body().argument(0);
+        Value s_out = l.body().argument(1);
+        Value ifmap = l.body().argument(2);
+        Value filter = l.body().argument(3);
+        Value ofmap = l.body().argument(4);
+        Value conn = conns[k] ? l.body().argument(5) : Value();
+
+        auto loop = b.create<affine::ForOp>(int64_t{0},
+                                            int64_t(cfg.groups()),
+                                            int64_t{1});
+        {
+            ir::OpBuilder::InsertionGuard g2(b);
+            b.setInsertionPointToEnd(&affine::ForOp(loop.op()).body());
+            // Blocking read of one 4-sample group; arrival is shaped by
+            // the upstream core's connection (reads are posted by the
+            // stream unit and cost no core cycles).
+            auto group = b.create<equeue::StreamReadOp>(
+                s_in, int64_t(cfg.lanes()), 32u, Value());
+            b.create<equeue::WriteOp>(group->result(0), ifmap, Value(),
+                                      std::vector<Value>{});
+
+            int ops = cfg.opsPerCore();
+            int write_after = cfg.writeAfterOps >= 0
+                                  ? std::min(cfg.writeAfterOps, ops)
+                                  : ops;
+            auto emit_compute = [&](int index) {
+                // The first op of the whole chain multiplies; all later
+                // ones multiply-accumulate (paper §VII-C).
+                const char *sig =
+                    (k == 0 && index == 0) ? "mul4" : "mac4";
+                auto op = b.create<equeue::ExternOp>(
+                    std::string(sig),
+                    std::vector<Value>{ofmap, ifmap, filter},
+                    std::vector<ir::Type>{});
+                op->setAttr("offset",
+                            ir::Attribute::integer(
+                                2 * (k * ops + index) % cfg.taps));
+            };
+            int emitted = 0;
+            for (; emitted < write_after; ++emitted)
+                emit_compute(emitted);
+            auto result = b.create<equeue::ReadOp>(ofmap, Value(),
+                                                   std::vector<Value>{});
+            b.create<equeue::StreamWriteOp>(result->result(0), s_out,
+                                            conn);
+            for (; emitted < ops; ++emitted)
+                emit_compute(emitted);
+            b.create<affine::YieldOp>(std::vector<Value>{});
+        }
+        b.create<equeue::ReturnOp>(std::vector<Value>{});
+    }
+    b.create<equeue::AwaitOp>(dones);
+    return module;
+}
+
+uint64_t
+expectedFirCycles(const FirConfig &cfg)
+{
+    const uint64_t g = cfg.groups();
+    const uint64_t k = cfg.cores;
+    const uint64_t l = cfg.opsPerCore();
+    if (cfg.streamBandwidth <= 0) {
+        // Unlimited links: classic pipeline fill + drain.
+        return l * (g + k - 1);
+    }
+    const uint64_t group_bytes = cfg.lanes() * 4;
+    const uint64_t tx =
+        (group_bytes + cfg.streamBandwidth - 1) / cfg.streamBandwidth;
+    const uint64_t pre =
+        cfg.writeAfterOps >= 0
+            ? std::min<uint64_t>(cfg.writeAfterOps, l)
+            : l;
+    const uint64_t ii = std::max(l, tx);
+    return k * (pre + tx) + (g - 1) * ii;
+}
+
+} // namespace aie
+} // namespace eq

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The Versal ACAP AI Engine case study (Section VII): a 32-tap complex
+ * FIR filter over 512 samples, modeled at four design points:
+ *
+ *  case 1 — one AI Engine core, unlimited I/O        (paper: 2048 cyc)
+ *  case 2 — 16 pipelined cores, unlimited I/O        (paper:  143 cyc)
+ *  case 3 — 16 pipelined cores, 32-bit stream links  (paper:  588 cyc)
+ *  case 4 — 4 balanced cores, 32-bit stream links    (paper:  538 cyc)
+ *
+ * Each core computes `mul4`/`mac4` intrinsics (4 lanes x 2 MACs/cycle
+ * [39]); groups of 4 samples flow core-to-core through AXI4-Stream
+ * style FIFOs, rate-limited by Streaming connections in cases 3-4.
+ */
+
+#ifndef EQ_AIE_FIR_HH
+#define EQ_AIE_FIR_HH
+
+#include <cstdint>
+
+#include "ir/builder.hh"
+
+namespace eq {
+namespace aie {
+
+/** FIR design-point description. */
+struct FirConfig {
+    int taps = 32;      ///< filter length
+    int samples = 512;  ///< input series length
+    int cores = 1;      ///< AI Engine cores in the pipeline
+    /** Stream link bandwidth in bytes/cycle; 0 = unlimited (cases 1-2).
+     *  The AI Engine's AXI4-Stream interfaces are 32-bit => 4. */
+    int64_t streamBandwidth = 0;
+    /** Issue the stream write after this many compute ops (the paper's
+     *  case 4 interleaves the write mid-computation). Negative = after
+     *  all compute ops. */
+    int writeAfterOps = -1;
+
+    /** Samples per vector group (mul4/mac4 compute 4 lanes). */
+    int lanes() const { return 4; }
+    int groups() const { return samples / lanes(); }
+    /** mul4/mac4 ops needed per group: taps/2 (2 MACs per lane/cycle). */
+    int totalOpsPerGroup() const { return taps / 2; }
+    int opsPerCore() const { return totalOpsPerGroup() / cores; }
+
+    static FirConfig case1();
+    static FirConfig case2();
+    static FirConfig case3();
+    static FirConfig case4();
+};
+
+/** Emit the EQueue module for @p cfg. */
+ir::OwningOpRef buildFirModule(ir::Context &ctx, const FirConfig &cfg);
+
+/**
+ * Closed-form cycle count the emitted module simulates to (derived in
+ * EXPERIMENTS.md; used by tests to pin the engine's behaviour):
+ *  unlimited:  L*(G + K - 1) with L = opsPerCore, G = groups, K = cores
+ *  bandwidth-limited: K*(pre + tx) + (G-1)*max(L, tx)
+ *    with tx = groupBytes/bw and pre = ops issued before the write.
+ */
+uint64_t expectedFirCycles(const FirConfig &cfg);
+
+} // namespace aie
+} // namespace eq
+
+#endif // EQ_AIE_FIR_HH

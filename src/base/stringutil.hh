@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Small string helpers shared across the project.
+ */
+
+#ifndef EQ_BASE_STRINGUTIL_HH
+#define EQ_BASE_STRINGUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace eq {
+
+/** Split @p s on @p sep, dropping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** True iff @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Escape a string for embedding in a JSON document. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace eq
+
+#endif // EQ_BASE_STRINGUTIL_HH

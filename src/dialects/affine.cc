@@ -1,0 +1,146 @@
+#include "dialects/affine.hh"
+
+namespace eq {
+namespace affine {
+
+ir::Operation *
+ForOp::build(ir::OpBuilder &b, int64_t lb, int64_t ub, int64_t step)
+{
+    ir::AttrDict attrs;
+    attrs.set("lb", ir::Attribute::integer(lb));
+    attrs.set("ub", ir::Attribute::integer(ub));
+    attrs.set("step", ir::Attribute::integer(step));
+    ir::Operation *op =
+        b.create(opName, {}, {}, std::move(attrs), /*num_regions=*/1);
+    ir::Block &body = op->region(0).ensureBlock();
+    body.addArgument(b.context().indexType());
+    return op;
+}
+
+ir::Operation *
+ParallelOp::build(ir::OpBuilder &b, std::vector<int64_t> lbs,
+                  std::vector<int64_t> ubs, std::vector<int64_t> steps)
+{
+    if (steps.empty())
+        steps.assign(lbs.size(), 1);
+    ir::AttrDict attrs;
+    attrs.set("lbs", ir::Attribute::i64Array(lbs));
+    attrs.set("ubs", ir::Attribute::i64Array(ubs));
+    attrs.set("steps", ir::Attribute::i64Array(steps));
+    ir::Operation *op =
+        b.create(opName, {}, {}, std::move(attrs), /*num_regions=*/1);
+    ir::Block &body = op->region(0).ensureBlock();
+    for (size_t i = 0; i < lbs.size(); ++i)
+        body.addArgument(b.context().indexType());
+    return op;
+}
+
+ir::Operation *
+LoadOp::build(ir::OpBuilder &b, ir::Value memref,
+              std::vector<ir::Value> indices)
+{
+    ir::Type elem = b.context().intType(memref.type().elemBits());
+    std::vector<ir::Value> operands{memref};
+    operands.insert(operands.end(), indices.begin(), indices.end());
+    return b.create(opName, {elem}, std::move(operands));
+}
+
+std::vector<ir::Value>
+LoadOp::indices() const
+{
+    auto ops = _op->operands();
+    return {ops.begin() + 1, ops.end()};
+}
+
+ir::Operation *
+StoreOp::build(ir::OpBuilder &b, ir::Value value, ir::Value memref,
+               std::vector<ir::Value> indices)
+{
+    std::vector<ir::Value> operands{value, memref};
+    operands.insert(operands.end(), indices.begin(), indices.end());
+    return b.create(opName, {}, std::move(operands));
+}
+
+std::vector<ir::Value>
+StoreOp::indices() const
+{
+    auto ops = _op->operands();
+    return {ops.begin() + 2, ops.end()};
+}
+
+ir::Operation *
+YieldOp::build(ir::OpBuilder &b, std::vector<ir::Value> values)
+{
+    return b.create(opName, {}, std::move(values));
+}
+
+namespace {
+
+std::string
+verifyFor(ir::Operation *op)
+{
+    if (op->numRegions() != 1 || op->region(0).empty())
+        return "expects a body region";
+    if (op->region(0).front().numArguments() != 1)
+        return "body must have exactly one induction variable";
+    if (!op->attr("lb") || !op->attr("ub") || !op->attr("step"))
+        return "requires lb/ub/step attributes";
+    return "";
+}
+
+std::string
+verifyParallel(ir::Operation *op)
+{
+    if (op->numRegions() != 1 || op->region(0).empty())
+        return "expects a body region";
+    auto lbs = op->attr("lbs");
+    auto ubs = op->attr("ubs");
+    if (!lbs || !ubs)
+        return "requires lbs/ubs attributes";
+    if (lbs.asI64Array().size() != ubs.asI64Array().size())
+        return "lbs/ubs rank mismatch";
+    if (op->region(0).front().numArguments() != lbs.asI64Array().size())
+        return "induction variable count mismatch";
+    return "";
+}
+
+std::string
+verifyLoad(ir::Operation *op)
+{
+    if (op->numOperands() < 1)
+        return "expects a memref operand";
+    ir::Type mt = op->operand(0).type();
+    if (!mt.isMemRef() && !mt.isBuffer())
+        return "first operand must be a memref or buffer";
+    if (op->numOperands() - 1 != mt.shape().size())
+        return "index count must match memref rank";
+    return "";
+}
+
+std::string
+verifyStore(ir::Operation *op)
+{
+    if (op->numOperands() < 2)
+        return "expects value and memref operands";
+    ir::Type mt = op->operand(1).type();
+    if (!mt.isMemRef() && !mt.isBuffer())
+        return "second operand must be a memref or buffer";
+    if (op->numOperands() - 2 != mt.shape().size())
+        return "index count must match memref rank";
+    return "";
+}
+
+} // namespace
+
+void
+registerDialect(ir::Context &ctx)
+{
+    ctx.registerOp({ForOp::opName, verifyFor, false});
+    ctx.registerOp({ParallelOp::opName, verifyParallel, false});
+    ctx.registerOp({LoadOp::opName, verifyLoad, false});
+    ctx.registerOp({StoreOp::opName, verifyStore, false});
+    ctx.registerOp({YieldOp::opName, nullptr, true});
+}
+
+} // namespace affine
+} // namespace eq

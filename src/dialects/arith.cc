@@ -1,0 +1,67 @@
+#include "dialects/arith.hh"
+
+namespace eq {
+namespace arith {
+
+ir::Operation *
+ConstantOp::build(ir::OpBuilder &b, int64_t value, ir::Type type)
+{
+    ir::AttrDict attrs;
+    attrs.set("value", ir::Attribute::integer(value));
+    return b.create(opName, {type}, {}, std::move(attrs));
+}
+
+ir::Operation *
+ConstantOp::build(ir::OpBuilder &b, double value, ir::Type type)
+{
+    ir::AttrDict attrs;
+    attrs.set("value", ir::Attribute::floating(value));
+    return b.create(opName, {type}, {}, std::move(attrs));
+}
+
+ir::Operation *
+buildBinary(ir::OpBuilder &b, const char *name, ir::Value lhs, ir::Value rhs)
+{
+    return b.create(name, {lhs.type()}, {lhs, rhs});
+}
+
+namespace {
+
+std::string
+verifyBinary(ir::Operation *op)
+{
+    if (op->numOperands() != 2)
+        return "expects exactly two operands";
+    if (op->numResults() != 1)
+        return "expects exactly one result";
+    return "";
+}
+
+std::string
+verifyConstant(ir::Operation *op)
+{
+    if (op->numOperands() != 0)
+        return "expects no operands";
+    if (op->numResults() != 1)
+        return "expects one result";
+    if (!op->attr("value"))
+        return "requires a 'value' attribute";
+    return "";
+}
+
+} // namespace
+
+void
+registerDialect(ir::Context &ctx)
+{
+    ctx.registerOp({ConstantOp::opName, verifyConstant, false});
+    for (const char *name :
+         {AddIOp::opName, SubIOp::opName, MulIOp::opName,
+          DivSIOp::opName, RemSIOp::opName, AddFOp::opName,
+          MulFOp::opName}) {
+        ctx.registerOp({name, verifyBinary, false});
+    }
+}
+
+} // namespace arith
+} // namespace eq

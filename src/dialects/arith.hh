@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Arith dialect: scalar constants and integer/float arithmetic.
+ *
+ * The subset of MLIR's arith dialect that accelerator kernels in this
+ * project use (the paper's examples embed `addi` etc. inside launch
+ * blocks).
+ */
+
+#ifndef EQ_DIALECTS_ARITH_HH
+#define EQ_DIALECTS_ARITH_HH
+
+#include "ir/builder.hh"
+
+namespace eq {
+namespace arith {
+
+/** `arith.constant {value} : () -> T` */
+class ConstantOp : public ir::OpView {
+  public:
+    using OpView::OpView;
+    static constexpr const char *opName = "arith.constant";
+
+    static ir::Operation *build(ir::OpBuilder &b, int64_t value,
+                                ir::Type type);
+    static ir::Operation *build(ir::OpBuilder &b, double value,
+                                ir::Type type);
+
+    ir::Attribute value() const { return _op->attr("value"); }
+};
+
+/** Shared shape for binary elementwise ops: `name(lhs, rhs) -> T`. */
+ir::Operation *buildBinary(ir::OpBuilder &b, const char *name, ir::Value lhs,
+                           ir::Value rhs);
+
+struct AddIOp : ir::OpView {
+    using OpView::OpView;
+    static constexpr const char *opName = "arith.addi";
+    static ir::Operation *
+    build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
+    {
+        return buildBinary(b, opName, lhs, rhs);
+    }
+};
+
+struct SubIOp : ir::OpView {
+    using OpView::OpView;
+    static constexpr const char *opName = "arith.subi";
+    static ir::Operation *
+    build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
+    {
+        return buildBinary(b, opName, lhs, rhs);
+    }
+};
+
+struct MulIOp : ir::OpView {
+    using OpView::OpView;
+    static constexpr const char *opName = "arith.muli";
+    static ir::Operation *
+    build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
+    {
+        return buildBinary(b, opName, lhs, rhs);
+    }
+};
+
+struct DivSIOp : ir::OpView {
+    using OpView::OpView;
+    static constexpr const char *opName = "arith.divsi";
+    static ir::Operation *
+    build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
+    {
+        return buildBinary(b, opName, lhs, rhs);
+    }
+};
+
+struct RemSIOp : ir::OpView {
+    using OpView::OpView;
+    static constexpr const char *opName = "arith.remsi";
+    static ir::Operation *
+    build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
+    {
+        return buildBinary(b, opName, lhs, rhs);
+    }
+};
+
+struct AddFOp : ir::OpView {
+    using OpView::OpView;
+    static constexpr const char *opName = "arith.addf";
+    static ir::Operation *
+    build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
+    {
+        return buildBinary(b, opName, lhs, rhs);
+    }
+};
+
+struct MulFOp : ir::OpView {
+    using OpView::OpView;
+    static constexpr const char *opName = "arith.mulf";
+    static ir::Operation *
+    build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
+    {
+        return buildBinary(b, opName, lhs, rhs);
+    }
+};
+
+/** Register all arith ops with @p ctx. */
+void registerDialect(ir::Context &ctx);
+
+} // namespace arith
+} // namespace eq
+
+#endif // EQ_DIALECTS_ARITH_HH

@@ -1,0 +1,48 @@
+#include "dialects/memref.hh"
+
+namespace eq {
+namespace memref {
+
+ir::Operation *
+AllocOp::build(ir::OpBuilder &b, std::vector<int64_t> shape,
+               unsigned elem_bits)
+{
+    ir::Type t = b.context().memrefType(std::move(shape), elem_bits);
+    return b.create(opName, {t}, {});
+}
+
+ir::Operation *
+DeallocOp::build(ir::OpBuilder &b, ir::Value memref)
+{
+    return b.create(opName, {}, {memref});
+}
+
+namespace {
+
+std::string
+verifyAlloc(ir::Operation *op)
+{
+    if (op->numResults() != 1 || !op->result(0).type().isMemRef())
+        return "expects a single memref result";
+    return "";
+}
+
+std::string
+verifyDealloc(ir::Operation *op)
+{
+    if (op->numOperands() != 1 || !op->operand(0).type().isMemRef())
+        return "expects a single memref operand";
+    return "";
+}
+
+} // namespace
+
+void
+registerDialect(ir::Context &ctx)
+{
+    ctx.registerOp({AllocOp::opName, verifyAlloc, false});
+    ctx.registerOp({DeallocOp::opName, verifyDealloc, false});
+}
+
+} // namespace memref
+} // namespace eq

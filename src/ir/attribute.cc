@@ -1,0 +1,271 @@
+#include "ir/attribute.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/stringutil.hh"
+
+namespace eq {
+namespace ir {
+
+// The private constructor is only reachable from these factories, so the
+// factories are defined via a small friend-free helper in this TU.
+struct AttrFactory {
+    static Attribute
+    create(AttrStorage st)
+    {
+        return Attribute(std::make_shared<const AttrStorage>(std::move(st)));
+    }
+};
+
+Attribute
+Attribute::unit()
+{
+    AttrStorage st;
+    st.kind = AttrKind::Unit;
+    return AttrFactory::create(std::move(st));
+}
+
+Attribute
+Attribute::boolean(bool v)
+{
+    AttrStorage st;
+    st.kind = AttrKind::Bool;
+    st.b = v;
+    return AttrFactory::create(std::move(st));
+}
+
+Attribute
+Attribute::integer(int64_t v)
+{
+    AttrStorage st;
+    st.kind = AttrKind::Int;
+    st.i = v;
+    return AttrFactory::create(std::move(st));
+}
+
+Attribute
+Attribute::floating(double v)
+{
+    AttrStorage st;
+    st.kind = AttrKind::Float;
+    st.f = v;
+    return AttrFactory::create(std::move(st));
+}
+
+Attribute
+Attribute::string(std::string v)
+{
+    AttrStorage st;
+    st.kind = AttrKind::String;
+    st.s = std::move(v);
+    return AttrFactory::create(std::move(st));
+}
+
+Attribute
+Attribute::typeRef(Type t)
+{
+    AttrStorage st;
+    st.kind = AttrKind::TypeRef;
+    st.t = t;
+    return AttrFactory::create(std::move(st));
+}
+
+Attribute
+Attribute::array(std::vector<Attribute> elems)
+{
+    AttrStorage st;
+    st.kind = AttrKind::Array;
+    st.arr = std::move(elems);
+    return AttrFactory::create(std::move(st));
+}
+
+Attribute
+Attribute::i64Array(std::vector<int64_t> elems)
+{
+    AttrStorage st;
+    st.kind = AttrKind::I64Array;
+    st.ints = std::move(elems);
+    return AttrFactory::create(std::move(st));
+}
+
+bool
+Attribute::operator==(const Attribute &o) const
+{
+    if (_impl == o._impl)
+        return true;
+    if (!_impl || !o._impl)
+        return false;
+    const AttrStorage &a = *_impl;
+    const AttrStorage &b = *o._impl;
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case AttrKind::Unit:
+        return true;
+      case AttrKind::Bool:
+        return a.b == b.b;
+      case AttrKind::Int:
+        return a.i == b.i;
+      case AttrKind::Float:
+        return a.f == b.f;
+      case AttrKind::String:
+        return a.s == b.s;
+      case AttrKind::TypeRef:
+        return a.t == b.t;
+      case AttrKind::Array:
+        return a.arr == b.arr;
+      case AttrKind::I64Array:
+        return a.ints == b.ints;
+    }
+    return false;
+}
+
+AttrKind
+Attribute::kind() const
+{
+    eq_assert(_impl, "null attribute dereference");
+    return _impl->kind;
+}
+
+bool
+Attribute::asBool() const
+{
+    eq_assert(_impl && _impl->kind == AttrKind::Bool, "not a bool attr");
+    return _impl->b;
+}
+
+int64_t
+Attribute::asInt() const
+{
+    eq_assert(_impl && _impl->kind == AttrKind::Int, "not an int attr");
+    return _impl->i;
+}
+
+double
+Attribute::asFloat() const
+{
+    eq_assert(_impl && _impl->kind == AttrKind::Float, "not a float attr");
+    return _impl->f;
+}
+
+const std::string &
+Attribute::asString() const
+{
+    eq_assert(_impl && _impl->kind == AttrKind::String,
+              "not a string attr");
+    return _impl->s;
+}
+
+Type
+Attribute::asType() const
+{
+    eq_assert(_impl && _impl->kind == AttrKind::TypeRef, "not a type attr");
+    return _impl->t;
+}
+
+const std::vector<Attribute> &
+Attribute::asArray() const
+{
+    eq_assert(_impl && _impl->kind == AttrKind::Array, "not an array attr");
+    return _impl->arr;
+}
+
+const std::vector<int64_t> &
+Attribute::asI64Array() const
+{
+    eq_assert(_impl && _impl->kind == AttrKind::I64Array,
+              "not an i64 array attr");
+    return _impl->ints;
+}
+
+std::string
+Attribute::str() const
+{
+    if (!_impl)
+        return "<<null>>";
+    std::ostringstream os;
+    switch (_impl->kind) {
+      case AttrKind::Unit:
+        os << "unit";
+        break;
+      case AttrKind::Bool:
+        os << (_impl->b ? "true" : "false");
+        break;
+      case AttrKind::Int:
+        os << _impl->i;
+        break;
+      case AttrKind::Float: {
+        std::ostringstream f;
+        f << _impl->f;
+        std::string body = f.str();
+        os << body;
+        // Mark as float for the parser when it would read as an int.
+        if (body.find_first_of(".e") == std::string::npos)
+            os << ".0";
+        break;
+      }
+      case AttrKind::String:
+        os << '"' << jsonEscape(_impl->s) << '"';
+        break;
+      case AttrKind::TypeRef:
+        os << _impl->t.str();
+        break;
+      case AttrKind::Array: {
+        os << '[';
+        for (size_t i = 0; i < _impl->arr.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << _impl->arr[i].str();
+        }
+        os << ']';
+        break;
+      }
+      case AttrKind::I64Array: {
+        os << "dense[";
+        for (size_t i = 0; i < _impl->ints.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << _impl->ints[i];
+        }
+        os << ']';
+        break;
+      }
+    }
+    return os.str();
+}
+
+Attribute
+AttrDict::get(const std::string &name) const
+{
+    for (const auto &e : _entries)
+        if (e.first == name)
+            return e.second;
+    return Attribute();
+}
+
+void
+AttrDict::set(const std::string &name, Attribute attr)
+{
+    for (auto &e : _entries) {
+        if (e.first == name) {
+            e.second = std::move(attr);
+            return;
+        }
+    }
+    _entries.emplace_back(name, std::move(attr));
+}
+
+void
+AttrDict::erase(const std::string &name)
+{
+    _entries.erase(std::remove_if(_entries.begin(), _entries.end(),
+                                  [&](const Entry &e) {
+                                      return e.first == name;
+                                  }),
+                   _entries.end());
+}
+
+} // namespace ir
+} // namespace eq

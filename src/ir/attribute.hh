@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Immutable attributes attached to operations.
+ *
+ * Unlike types, attributes are not interned: they are value-semantic
+ * handles onto shared immutable storage, compared structurally. This keeps
+ * the Context simple while preserving MLIR-like ergonomics.
+ */
+
+#ifndef EQ_IR_ATTRIBUTE_HH
+#define EQ_IR_ATTRIBUTE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.hh"
+
+namespace eq {
+namespace ir {
+
+enum class AttrKind : uint8_t {
+    Unit,
+    Bool,
+    Int,
+    Float,
+    String,
+    TypeRef,
+    Array,
+    I64Array,
+};
+
+class Attribute;
+
+/** Immutable payload shared between attribute handles. */
+struct AttrStorage {
+    AttrKind kind = AttrKind::Unit;
+    bool b = false;
+    int64_t i = 0;
+    double f = 0.0;
+    std::string s;
+    Type t;
+    std::vector<Attribute> arr;
+    std::vector<int64_t> ints;
+};
+
+/** A structurally compared, immutable attribute handle. */
+class Attribute {
+  public:
+    Attribute() = default;
+
+    static Attribute unit();
+    static Attribute boolean(bool v);
+    static Attribute integer(int64_t v);
+    static Attribute floating(double v);
+    static Attribute string(std::string v);
+    static Attribute typeRef(Type t);
+    static Attribute array(std::vector<Attribute> elems);
+    static Attribute i64Array(std::vector<int64_t> elems);
+
+    explicit operator bool() const { return _impl != nullptr; }
+    bool operator==(const Attribute &o) const;
+    bool operator!=(const Attribute &o) const { return !(*this == o); }
+
+    AttrKind kind() const;
+    bool isInt() const { return kind() == AttrKind::Int; }
+    bool isString() const { return kind() == AttrKind::String; }
+
+    bool asBool() const;
+    int64_t asInt() const;
+    double asFloat() const;
+    const std::string &asString() const;
+    Type asType() const;
+    const std::vector<Attribute> &asArray() const;
+    const std::vector<int64_t> &asI64Array() const;
+
+    /** Render in textual IR syntax. */
+    std::string str() const;
+
+  private:
+    friend struct AttrFactory;
+    explicit Attribute(std::shared_ptr<const AttrStorage> impl)
+        : _impl(std::move(impl))
+    {}
+    std::shared_ptr<const AttrStorage> _impl;
+};
+
+/** An ordered (deterministically printed) name->attribute dictionary. */
+class AttrDict {
+  public:
+    using Entry = std::pair<std::string, Attribute>;
+
+    /** Look up an attribute; returns a null handle when absent. */
+    Attribute get(const std::string &name) const;
+    /** Insert or overwrite. */
+    void set(const std::string &name, Attribute attr);
+    /** Remove if present. */
+    void erase(const std::string &name);
+    bool contains(const std::string &name) const
+    {
+        return static_cast<bool>(get(name));
+    }
+
+    bool empty() const { return _entries.empty(); }
+    size_t size() const { return _entries.size(); }
+    auto begin() const { return _entries.begin(); }
+    auto end() const { return _entries.end(); }
+
+  private:
+    std::vector<Entry> _entries;
+};
+
+} // namespace ir
+} // namespace eq
+
+#endif // EQ_IR_ATTRIBUTE_HH

@@ -1,0 +1,290 @@
+#include "ir/context.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace eq {
+namespace ir {
+
+Context::Context() = default;
+Context::~Context() = default;
+
+Type
+Context::intern(TypeStorage st)
+{
+    for (const auto &existing : _typeStorage)
+        if (*existing == st)
+            return Type(existing.get());
+    _typeStorage.push_back(std::make_unique<TypeStorage>(std::move(st)));
+    return Type(_typeStorage.back().get());
+}
+
+Type
+Context::noneType()
+{
+    TypeStorage st;
+    st.kind = TypeKind::None;
+    return intern(std::move(st));
+}
+
+Type
+Context::indexType()
+{
+    TypeStorage st;
+    st.kind = TypeKind::Index;
+    return intern(std::move(st));
+}
+
+Type
+Context::intType(unsigned width)
+{
+    TypeStorage st;
+    st.kind = TypeKind::Integer;
+    st.width = width;
+    return intern(std::move(st));
+}
+
+Type
+Context::floatType(unsigned width)
+{
+    TypeStorage st;
+    st.kind = TypeKind::Float;
+    st.width = width;
+    return intern(std::move(st));
+}
+
+Type
+Context::tensorType(std::vector<int64_t> shape, unsigned elem_bits)
+{
+    TypeStorage st;
+    st.kind = TypeKind::Tensor;
+    st.shape = std::move(shape);
+    st.elemBits = elem_bits;
+    return intern(std::move(st));
+}
+
+Type
+Context::memrefType(std::vector<int64_t> shape, unsigned elem_bits)
+{
+    TypeStorage st;
+    st.kind = TypeKind::MemRef;
+    st.shape = std::move(shape);
+    st.elemBits = elem_bits;
+    return intern(std::move(st));
+}
+
+Type
+Context::eventType()
+{
+    TypeStorage st;
+    st.kind = TypeKind::Event;
+    return intern(std::move(st));
+}
+
+Type
+Context::procType()
+{
+    TypeStorage st;
+    st.kind = TypeKind::Proc;
+    return intern(std::move(st));
+}
+
+Type
+Context::memType()
+{
+    TypeStorage st;
+    st.kind = TypeKind::Mem;
+    return intern(std::move(st));
+}
+
+Type
+Context::dmaType()
+{
+    TypeStorage st;
+    st.kind = TypeKind::Dma;
+    return intern(std::move(st));
+}
+
+Type
+Context::compType()
+{
+    TypeStorage st;
+    st.kind = TypeKind::Comp;
+    return intern(std::move(st));
+}
+
+Type
+Context::connectionType()
+{
+    TypeStorage st;
+    st.kind = TypeKind::Connection;
+    return intern(std::move(st));
+}
+
+Type
+Context::streamType()
+{
+    TypeStorage st;
+    st.kind = TypeKind::Stream;
+    return intern(std::move(st));
+}
+
+Type
+Context::bufferType(std::vector<int64_t> shape, unsigned elem_bits)
+{
+    TypeStorage st;
+    st.kind = TypeKind::Buffer;
+    st.shape = std::move(shape);
+    st.elemBits = elem_bits;
+    return intern(std::move(st));
+}
+
+Type
+Context::anyType()
+{
+    TypeStorage st;
+    st.kind = TypeKind::Any;
+    return intern(std::move(st));
+}
+
+void
+Context::registerOp(OpInfo info)
+{
+    _opRegistry[info.name] = std::move(info);
+}
+
+const OpInfo *
+Context::lookupOp(const std::string &name) const
+{
+    auto it = _opRegistry.find(name);
+    return it == _opRegistry.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Type member functions that need no Context access.
+
+TypeKind
+Type::kind() const
+{
+    eq_assert(_impl, "null type dereference");
+    return _impl->kind;
+}
+
+bool
+Type::isComponent() const
+{
+    switch (kind()) {
+      case TypeKind::Proc:
+      case TypeKind::Mem:
+      case TypeKind::Dma:
+      case TypeKind::Comp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+Type::width() const
+{
+    return _impl ? _impl->width : 0;
+}
+
+const std::vector<int64_t> &
+Type::shape() const
+{
+    static const std::vector<int64_t> empty;
+    return _impl ? _impl->shape : empty;
+}
+
+unsigned
+Type::elemBits() const
+{
+    return _impl ? _impl->elemBits : 0;
+}
+
+int64_t
+Type::numElements() const
+{
+    int64_t n = 1;
+    for (int64_t d : shape())
+        n *= d;
+    return n;
+}
+
+int64_t
+Type::sizeBytes() const
+{
+    return numElements() * ((elemBits() + 7) / 8);
+}
+
+std::string
+Type::str() const
+{
+    if (!_impl)
+        return "<<null-type>>";
+    std::ostringstream os;
+    auto printShaped = [&](const char *name) {
+        os << name << '<';
+        for (size_t i = 0; i < _impl->shape.size(); ++i) {
+            if (i)
+                os << 'x';
+            os << _impl->shape[i];
+        }
+        if (!_impl->shape.empty())
+            os << 'x';
+        os << 'i' << _impl->elemBits << '>';
+    };
+    switch (_impl->kind) {
+      case TypeKind::None:
+        os << "none";
+        break;
+      case TypeKind::Index:
+        os << "index";
+        break;
+      case TypeKind::Integer:
+        os << 'i' << _impl->width;
+        break;
+      case TypeKind::Float:
+        os << 'f' << _impl->width;
+        break;
+      case TypeKind::Tensor:
+        printShaped("tensor");
+        break;
+      case TypeKind::MemRef:
+        printShaped("memref");
+        break;
+      case TypeKind::Event:
+        os << "!equeue.event";
+        break;
+      case TypeKind::Proc:
+        os << "!equeue.proc";
+        break;
+      case TypeKind::Mem:
+        os << "!equeue.mem";
+        break;
+      case TypeKind::Dma:
+        os << "!equeue.dma";
+        break;
+      case TypeKind::Comp:
+        os << "!equeue.comp";
+        break;
+      case TypeKind::Connection:
+        os << "!equeue.conn";
+        break;
+      case TypeKind::Stream:
+        os << "!equeue.stream";
+        break;
+      case TypeKind::Buffer:
+        printShaped("!equeue.buffer");
+        break;
+      case TypeKind::Any:
+        os << "!equeue.any";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace ir
+} // namespace eq

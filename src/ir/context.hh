@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Context owns all interned type storage and the operation registry.
+ *
+ * Every module and every operation belongs to exactly one Context. Dialects
+ * register their operations (with verifier hooks) against it; the verifier
+ * rejects unregistered operations unless allowUnregistered() is set.
+ */
+
+#ifndef EQ_IR_CONTEXT_HH
+#define EQ_IR_CONTEXT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.hh"
+
+namespace eq {
+namespace ir {
+
+class Operation;
+
+/** Registry record for one operation kind. */
+struct OpInfo {
+    std::string name;
+    /** Returns an empty string on success, else a diagnostic. */
+    std::function<std::string(Operation *)> verify;
+    bool isTerminator = false;
+};
+
+/** Owner of interned types, operation metadata, and unique op ids. */
+class Context {
+  public:
+    Context();
+    ~Context();
+
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+
+    /// @name Type factories (interned)
+    /// @{
+    Type noneType();
+    Type indexType();
+    Type intType(unsigned width);
+    Type i1Type() { return intType(1); }
+    Type i32Type() { return intType(32); }
+    Type i64Type() { return intType(64); }
+    Type floatType(unsigned width = 32);
+    Type tensorType(std::vector<int64_t> shape, unsigned elem_bits);
+    Type memrefType(std::vector<int64_t> shape, unsigned elem_bits);
+    Type eventType();
+    Type procType();
+    Type memType();
+    Type dmaType();
+    Type compType();
+    Type connectionType();
+    Type streamType();
+    Type bufferType(std::vector<int64_t> shape, unsigned elem_bits);
+    Type anyType();
+    /// @}
+
+    /** Register one operation kind; re-registration replaces. */
+    void registerOp(OpInfo info);
+    /** Look up registry info; nullptr when unregistered. */
+    const OpInfo *lookupOp(const std::string &name) const;
+
+    /** When true the verifier tolerates unregistered op names. */
+    bool allowUnregistered() const { return _allowUnregistered; }
+    void setAllowUnregistered(bool v) { _allowUnregistered = v; }
+
+    /** Monotonic id source used for deterministic ordering. */
+    uint64_t nextOpId() { return _nextOpId++; }
+
+  private:
+    Type intern(TypeStorage st);
+
+    std::vector<std::unique_ptr<TypeStorage>> _typeStorage;
+    std::map<std::string, OpInfo> _opRegistry;
+    bool _allowUnregistered = false;
+    uint64_t _nextOpId = 0;
+};
+
+/** Register every dialect this project defines onto @p ctx. */
+void registerAllDialects(Context &ctx);
+
+} // namespace ir
+} // namespace eq
+
+#endif // EQ_IR_CONTEXT_HH

@@ -1,0 +1,453 @@
+#include "ir/operation.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace eq {
+namespace ir {
+
+// ---------------------------------------------------------------------------
+// Value
+
+void
+Value::replaceAllUsesWith(Value other) const
+{
+    eq_assert(_impl, "RAUW on null value");
+    eq_assert(other, "RAUW with null value");
+    // Copy: setOperand mutates the use list we are iterating.
+    auto uses = _impl->uses;
+    for (auto &[op, idx] : uses)
+        op->setOperand(idx, other);
+}
+
+// ---------------------------------------------------------------------------
+// Operation
+
+Operation::Operation(Context &ctx, std::string name)
+    : _ctx(&ctx), _name(std::move(name)), _id(ctx.nextOpId())
+{
+}
+
+Operation *
+Operation::create(Context &ctx, std::string name,
+                  std::vector<Type> result_types,
+                  std::vector<Value> operands, AttrDict attrs,
+                  unsigned num_regions)
+{
+    auto *op = new Operation(ctx, std::move(name));
+    op->_attrs = std::move(attrs);
+    for (size_t i = 0; i < result_types.size(); ++i) {
+        ValueImpl impl;
+        impl.type = result_types[i];
+        impl.defOp = op;
+        impl.index = static_cast<unsigned>(i);
+        op->_results.push_back(std::move(impl));
+    }
+    for (Value v : operands)
+        op->appendOperand(v);
+    for (unsigned i = 0; i < num_regions; ++i)
+        op->_regions.push_back(std::make_unique<Region>(op));
+    return op;
+}
+
+Operation::~Operation()
+{
+    dropOperands();
+    // Results must have no remaining uses; passes are responsible for
+    // RAUW-ing before erasing. Dangling uses would corrupt the IR.
+    for (auto &res : _results) {
+        eq_assert(res.uses.empty(),
+                  "destroying op '", _name, "' with live uses");
+    }
+    _regions.clear();
+}
+
+void
+Operation::dropOperands()
+{
+    for (unsigned i = 0; i < _operands.size(); ++i) {
+        ValueImpl *impl = _operands[i];
+        if (!impl)
+            continue;
+        auto &uses = impl->uses;
+        uses.erase(std::remove(uses.begin(), uses.end(),
+                               std::make_pair(this, i)),
+                   uses.end());
+        _operands[i] = nullptr;
+    }
+}
+
+std::string
+Operation::dialect() const
+{
+    auto dot = _name.find('.');
+    return dot == std::string::npos ? std::string() : _name.substr(0, dot);
+}
+
+std::string
+Operation::shortName() const
+{
+    auto dot = _name.find('.');
+    return dot == std::string::npos ? _name : _name.substr(dot + 1);
+}
+
+Value
+Operation::operand(unsigned i) const
+{
+    eq_assert(i < _operands.size(), "operand index ", i, " out of range in ",
+              _name);
+    return Value(_operands[i]);
+}
+
+void
+Operation::setOperand(unsigned i, Value v)
+{
+    eq_assert(i < _operands.size(), "operand index out of range");
+    eq_assert(v, "setting null operand");
+    ValueImpl *old = _operands[i];
+    if (old) {
+        auto &uses = old->uses;
+        uses.erase(std::remove(uses.begin(), uses.end(),
+                               std::make_pair(this, i)),
+                   uses.end());
+    }
+    _operands[i] = v.impl();
+    v.impl()->uses.emplace_back(this, i);
+}
+
+std::vector<Value>
+Operation::operands() const
+{
+    std::vector<Value> out;
+    out.reserve(_operands.size());
+    for (ValueImpl *impl : _operands)
+        out.emplace_back(impl);
+    return out;
+}
+
+void
+Operation::appendOperand(Value v)
+{
+    eq_assert(v, "appending null operand to ", _name);
+    unsigned idx = static_cast<unsigned>(_operands.size());
+    _operands.push_back(v.impl());
+    v.impl()->uses.emplace_back(this, idx);
+}
+
+void
+Operation::eraseOperand(unsigned i)
+{
+    eq_assert(i < _operands.size(), "operand index out of range");
+    ValueImpl *old = _operands[i];
+    if (old) {
+        auto &uses = old->uses;
+        uses.erase(std::remove(uses.begin(), uses.end(),
+                               std::make_pair(this, i)),
+                   uses.end());
+    }
+    // Shift the remaining operands down and re-index their uses.
+    for (unsigned j = i + 1; j < _operands.size(); ++j) {
+        ValueImpl *impl = _operands[j];
+        for (auto &use : impl->uses) {
+            if (use.first == this && use.second == j)
+                use.second = j - 1;
+        }
+        _operands[j - 1] = impl;
+    }
+    _operands.pop_back();
+}
+
+Value
+Operation::result(unsigned i)
+{
+    eq_assert(i < _results.size(), "result index ", i, " out of range in ",
+              _name);
+    return Value(&_results[i]);
+}
+
+std::vector<Value>
+Operation::results()
+{
+    std::vector<Value> out;
+    out.reserve(_results.size());
+    for (auto &impl : _results)
+        out.emplace_back(&impl);
+    return out;
+}
+
+int64_t
+Operation::intAttr(const std::string &name) const
+{
+    Attribute a = attr(name);
+    eq_assert(a && a.isInt(), "op '", _name, "' missing int attr '", name,
+              "'");
+    return a.asInt();
+}
+
+int64_t
+Operation::intAttrOr(const std::string &name, int64_t dflt) const
+{
+    Attribute a = attr(name);
+    return (a && a.isInt()) ? a.asInt() : dflt;
+}
+
+const std::string &
+Operation::strAttr(const std::string &name) const
+{
+    Attribute a = attr(name);
+    eq_assert(a && a.isString(), "op '", _name, "' missing string attr '",
+              name, "'");
+    return a.asString();
+}
+
+Region &
+Operation::region(unsigned i)
+{
+    eq_assert(i < _regions.size(), "region index out of range in ", _name);
+    return *_regions[i];
+}
+
+const Region &
+Operation::region(unsigned i) const
+{
+    eq_assert(i < _regions.size(), "region index out of range in ", _name);
+    return *_regions[i];
+}
+
+Operation *
+Operation::parentOp() const
+{
+    return _block ? _block->parentOp() : nullptr;
+}
+
+void
+Operation::remove()
+{
+    if (_block)
+        _block->remove(this);
+}
+
+void
+Operation::erase()
+{
+    remove();
+    delete this;
+}
+
+void
+Operation::moveBefore(Operation *other)
+{
+    eq_assert(other && other->block(), "moveBefore needs an attached op");
+    if (other == this)
+        return;
+    Block *b = other->block();
+    remove();
+    b->insert(b->find(other), this);
+}
+
+void
+Operation::moveToEnd(Block *target)
+{
+    remove();
+    target->push_back(this);
+}
+
+Operation *
+Operation::clone(std::map<ValueImpl *, Value> &mapping) const
+{
+    std::vector<Type> result_types;
+    for (const auto &res : _results)
+        result_types.push_back(res.type);
+    std::vector<Value> operands;
+    for (ValueImpl *impl : _operands) {
+        auto it = mapping.find(impl);
+        operands.push_back(it != mapping.end() ? it->second
+                                               : Value(impl));
+    }
+    Operation *copy = Operation::create(*_ctx, _name, result_types,
+                                        operands, _attrs,
+                                        static_cast<unsigned>(
+                                            _regions.size()));
+    for (size_t i = 0; i < _results.size(); ++i)
+        mapping[const_cast<ValueImpl *>(&_results[i])] = copy->result(
+            static_cast<unsigned>(i));
+    for (size_t r = 0; r < _regions.size(); ++r) {
+        for (auto &block : *_regions[r]) {
+            Block *new_block = copy->region(static_cast<unsigned>(r))
+                                   .addBlock();
+            for (unsigned a = 0; a < block->numArguments(); ++a) {
+                Value new_arg =
+                    new_block->addArgument(block->argument(a).type());
+                mapping[block->argument(a).impl()] = new_arg;
+            }
+            for (Operation *inner : *block)
+                new_block->push_back(inner->clone(mapping));
+        }
+    }
+    return copy;
+}
+
+void
+Operation::walk(const std::function<void(Operation *)> &fn)
+{
+    fn(this);
+    for (auto &region : _regions) {
+        for (auto &block : *region) {
+            // Copy: fn may erase/move ops while we iterate.
+            std::vector<Operation *> ops(block->begin(), block->end());
+            for (Operation *op : ops)
+                op->walk(fn);
+        }
+    }
+}
+
+std::string
+Operation::verify()
+{
+    // Structural checks first.
+    for (unsigned i = 0; i < _operands.size(); ++i) {
+        if (!_operands[i])
+            return "op '" + _name + "' has null operand";
+    }
+    const OpInfo *info = _ctx->lookupOp(_name);
+    if (!info) {
+        if (!_ctx->allowUnregistered())
+            return "unregistered operation '" + _name + "'";
+    } else if (info->verify) {
+        std::string err = info->verify(this);
+        if (!err.empty())
+            return "op '" + _name + "': " + err;
+    }
+    // Verify nested ops.
+    for (auto &region : _regions) {
+        for (auto &block : *region) {
+            for (Operation *op : *block) {
+                std::string err = op->verify();
+                if (!err.empty())
+                    return err;
+            }
+        }
+    }
+    return "";
+}
+
+// ---------------------------------------------------------------------------
+// Block
+
+Block::~Block()
+{
+    // Destroy in reverse so later uses die before their defs, keeping the
+    // "no live uses at destruction" invariant cheap to check.
+    while (!_ops.empty()) {
+        Operation *op = _ops.back();
+        _ops.pop_back();
+        op->setBlock(nullptr);
+        delete op;
+    }
+}
+
+Value
+Block::addArgument(Type t)
+{
+    ValueImpl impl;
+    impl.type = t;
+    impl.ownerBlock = this;
+    impl.index = static_cast<unsigned>(_args.size());
+    _args.push_back(std::move(impl));
+    return Value(&_args.back());
+}
+
+Value
+Block::argument(unsigned i)
+{
+    eq_assert(i < _args.size(), "block argument index out of range");
+    return Value(&_args[i]);
+}
+
+std::vector<Value>
+Block::arguments()
+{
+    std::vector<Value> out;
+    out.reserve(_args.size());
+    for (auto &impl : _args)
+        out.emplace_back(&impl);
+    return out;
+}
+
+void
+Block::push_back(Operation *op)
+{
+    _ops.push_back(op);
+    op->setBlock(this);
+}
+
+Block::iterator
+Block::insert(iterator where, Operation *op)
+{
+    auto it = _ops.insert(where, op);
+    op->setBlock(this);
+    return it;
+}
+
+void
+Block::remove(Operation *op)
+{
+    auto it = find(op);
+    eq_assert(it != _ops.end(), "removing op not in block");
+    _ops.erase(it);
+    op->setBlock(nullptr);
+}
+
+Block::iterator
+Block::find(Operation *op)
+{
+    return std::find(_ops.begin(), _ops.end(), op);
+}
+
+Operation *
+Block::parentOp() const
+{
+    return _parent ? _parent->parentOp() : nullptr;
+}
+
+Operation *
+Block::terminator()
+{
+    return _ops.empty() ? nullptr : _ops.back();
+}
+
+// ---------------------------------------------------------------------------
+// Region
+
+Block *
+Region::addBlock()
+{
+    _blocks.push_back(std::make_unique<Block>());
+    _blocks.back()->setParentRegion(this);
+    return _blocks.back().get();
+}
+
+Block &
+Region::ensureBlock()
+{
+    if (_blocks.empty())
+        addBlock();
+    return front();
+}
+
+// ---------------------------------------------------------------------------
+// OwningOpRef
+
+void
+OwningOpRef::reset()
+{
+    if (_op) {
+        delete _op;
+        _op = nullptr;
+    }
+}
+
+} // namespace ir
+} // namespace eq

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Operation / Block / Region: the region-nested IR core.
+ *
+ * Ownership: a Region owns its Blocks; a Block owns its Operations; an
+ * Operation owns its Regions. Deleting the top-level module op releases the
+ * whole tree. Operations are created detached via Operation::create and
+ * become owned when inserted into a block.
+ */
+
+#ifndef EQ_IR_OPERATION_HH
+#define EQ_IR_OPERATION_HH
+
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/attribute.hh"
+#include "ir/context.hh"
+#include "ir/value.hh"
+
+namespace eq {
+namespace ir {
+
+class Region;
+class Block;
+
+/** A single IR operation with operands, results, attributes, regions. */
+class Operation {
+  public:
+    /**
+     * Create a detached operation.
+     *
+     * @param ctx owning context (used for ids and verification)
+     * @param name full op name, e.g. "equeue.launch"
+     * @param result_types one entry per result
+     * @param operands SSA operands (use lists updated)
+     * @param attrs attribute dictionary
+     * @param num_regions number of (initially empty) regions
+     */
+    static Operation *create(Context &ctx, std::string name,
+                             std::vector<Type> result_types,
+                             std::vector<Value> operands,
+                             AttrDict attrs = {},
+                             unsigned num_regions = 0);
+
+    ~Operation();
+
+    Operation(const Operation &) = delete;
+    Operation &operator=(const Operation &) = delete;
+
+    Context &context() const { return *_ctx; }
+    const std::string &name() const { return _name; }
+    /** Dialect prefix of the name ("equeue" of "equeue.launch"). */
+    std::string dialect() const;
+    /** Name with the dialect prefix stripped. */
+    std::string shortName() const;
+    uint64_t id() const { return _id; }
+
+    /// @name Operands
+    /// @{
+    size_t numOperands() const { return _operands.size(); }
+    Value operand(unsigned i) const;
+    void setOperand(unsigned i, Value v);
+    std::vector<Value> operands() const;
+    /** Append an operand (updates use lists). */
+    void appendOperand(Value v);
+    /** Remove operand @p i (shifts the rest down). */
+    void eraseOperand(unsigned i);
+    /// @}
+
+    /// @name Results
+    /// @{
+    size_t numResults() const { return _results.size(); }
+    Value result(unsigned i = 0);
+    std::vector<Value> results();
+    /// @}
+
+    /// @name Attributes
+    /// @{
+    Attribute attr(const std::string &name) const
+    {
+        return _attrs.get(name);
+    }
+    void setAttr(const std::string &name, Attribute a)
+    {
+        _attrs.set(name, std::move(a));
+    }
+    void removeAttr(const std::string &name) { _attrs.erase(name); }
+    const AttrDict &attrs() const { return _attrs; }
+    /** Convenience accessors that fail loudly when missing. */
+    int64_t intAttr(const std::string &name) const;
+    int64_t intAttrOr(const std::string &name, int64_t dflt) const;
+    const std::string &strAttr(const std::string &name) const;
+    /// @}
+
+    /// @name Regions
+    /// @{
+    size_t numRegions() const { return _regions.size(); }
+    Region &region(unsigned i = 0);
+    const Region &region(unsigned i = 0) const;
+    /// @}
+
+    /// @name Position in the IR
+    /// @{
+    Block *block() const { return _block; }
+    /** The op owning the region containing this op (null at top level). */
+    Operation *parentOp() const;
+    /** Unlink from the containing block without destroying. */
+    void remove();
+    /** Unlink and destroy this op; operands' use lists are updated. */
+    void erase();
+    /** Move this op immediately before @p other (same or other block). */
+    void moveBefore(Operation *other);
+    /** Move this op to the end of @p target. */
+    void moveToEnd(Block *target);
+    /// @}
+
+    /** Pre-order walk over this op and all nested ops. */
+    void walk(const std::function<void(Operation *)> &fn);
+
+    /**
+     * Deep-copy this operation (attributes, regions, block args).
+     * Operands are remapped through @p mapping when present, otherwise
+     * reused as-is; the clone's results and block arguments are added to
+     * @p mapping. The clone is detached (insert it yourself).
+     */
+    Operation *clone(std::map<ValueImpl *, Value> &mapping) const;
+
+    /** Run the registered verifier hook plus structural checks.
+     *  Returns an empty string on success. */
+    std::string verify();
+
+    /** Print in generic textual form. */
+    void print(std::ostream &os) const;
+    std::string str() const;
+
+    /** Internal: called by Block when inserting/removing. */
+    void setBlock(Block *b) { _block = b; }
+
+  private:
+    Operation(Context &ctx, std::string name);
+
+    /** Drop all operand uses (called by erase/destructor). */
+    void dropOperands();
+
+    Context *_ctx;
+    std::string _name;
+    uint64_t _id;
+    std::vector<ValueImpl *> _operands; ///< non-owning
+    std::deque<ValueImpl> _results;     ///< owned, address-stable
+    AttrDict _attrs;
+    std::vector<std::unique_ptr<Region>> _regions;
+    Block *_block = nullptr;
+};
+
+/** A straight-line sequence of operations with block arguments. */
+class Block {
+  public:
+    Block() = default;
+    ~Block();
+
+    Block(const Block &) = delete;
+    Block &operator=(const Block &) = delete;
+
+    /// @name Arguments
+    /// @{
+    Value addArgument(Type t);
+    size_t numArguments() const { return _args.size(); }
+    Value argument(unsigned i);
+    std::vector<Value> arguments();
+    /// @}
+
+    /// @name Operations (owned)
+    /// @{
+    using OpList = std::list<Operation *>;
+    using iterator = OpList::iterator;
+
+    bool empty() const { return _ops.empty(); }
+    size_t size() const { return _ops.size(); }
+    iterator begin() { return _ops.begin(); }
+    iterator end() { return _ops.end(); }
+    Operation *front() { return _ops.front(); }
+    Operation *back() { return _ops.back(); }
+
+    /** Append, taking ownership. */
+    void push_back(Operation *op);
+    /** Insert before @p where, taking ownership. */
+    iterator insert(iterator where, Operation *op);
+    /** Unlink @p op without destroying it. */
+    void remove(Operation *op);
+    /** Iterator to @p op; end() if absent. */
+    iterator find(Operation *op);
+    /// @}
+
+    Region *parentRegion() const { return _parent; }
+    Operation *parentOp() const;
+    void setParentRegion(Region *r) { _parent = r; }
+
+    /** The trailing terminator op, or nullptr when empty. */
+    Operation *terminator();
+
+  private:
+    std::deque<ValueImpl> _args; ///< address-stable
+    OpList _ops;
+    Region *_parent = nullptr;
+};
+
+/** A list of blocks owned by an operation. */
+class Region {
+  public:
+    explicit Region(Operation *parent) : _parent(parent) {}
+
+    Region(const Region &) = delete;
+    Region &operator=(const Region &) = delete;
+
+    bool empty() const { return _blocks.empty(); }
+    size_t numBlocks() const { return _blocks.size(); }
+    Block &front() { return *_blocks.front(); }
+    const Block &front() const { return *_blocks.front(); }
+    Block *addBlock();
+    auto begin() { return _blocks.begin(); }
+    auto end() { return _blocks.end(); }
+
+    Operation *parentOp() const { return _parent; }
+
+    /** Make sure the region has at least one (possibly empty) block. */
+    Block &ensureBlock();
+
+  private:
+    Operation *_parent;
+    std::vector<std::unique_ptr<Block>> _blocks;
+};
+
+/** Owning handle for a detached op tree (usually the module). */
+class OwningOpRef {
+  public:
+    OwningOpRef() = default;
+    explicit OwningOpRef(Operation *op) : _op(op) {}
+    OwningOpRef(OwningOpRef &&o) noexcept : _op(o._op) { o._op = nullptr; }
+    OwningOpRef &
+    operator=(OwningOpRef &&o) noexcept
+    {
+        reset();
+        _op = o._op;
+        o._op = nullptr;
+        return *this;
+    }
+    ~OwningOpRef() { reset(); }
+
+    Operation *get() const { return _op; }
+    Operation *operator->() const { return _op; }
+    explicit operator bool() const { return _op != nullptr; }
+    Operation *
+    release()
+    {
+        Operation *op = _op;
+        _op = nullptr;
+        return op;
+    }
+    void reset();
+
+  private:
+    Operation *_op = nullptr;
+};
+
+} // namespace ir
+} // namespace eq
+
+#endif // EQ_IR_OPERATION_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Parser for the generic textual form produced by Operation::print.
+ *
+ * The printer/parser pair round-trips: parse(print(op)) is structurally
+ * identical to op. Used by tests and by the example tools to read IR
+ * fragments from disk.
+ */
+
+#ifndef EQ_IR_PARSER_HH
+#define EQ_IR_PARSER_HH
+
+#include <string>
+
+#include "ir/operation.hh"
+
+namespace eq {
+namespace ir {
+
+/** Result of a parse: either an op tree or a diagnostic. */
+struct ParseResult {
+    OwningOpRef op;
+    std::string error; ///< empty on success
+
+    explicit operator bool() const { return error.empty() && op; }
+};
+
+/**
+ * Parse a single top-level operation (usually a builtin.module) from the
+ * generic textual format.
+ */
+ParseResult parseSourceString(Context &ctx, const std::string &source);
+
+} // namespace ir
+} // namespace eq
+
+#endif // EQ_IR_PARSER_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SSA values with explicit use lists.
+ *
+ * A Value is a handle onto a ValueImpl owned either by the defining
+ * Operation (op results) or by a Block (block arguments). Use lists record
+ * (user op, operand index) pairs so passes can replaceAllUsesWith.
+ */
+
+#ifndef EQ_IR_VALUE_HH
+#define EQ_IR_VALUE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/type.hh"
+
+namespace eq {
+namespace ir {
+
+class Operation;
+class Block;
+
+/** Storage behind a Value handle. Addresses are stable after creation. */
+struct ValueImpl {
+    Type type;
+    Operation *defOp = nullptr; ///< defining op, or null for block args
+    Block *ownerBlock = nullptr; ///< owning block for block args
+    unsigned index = 0;          ///< result index or argument index
+    std::vector<std::pair<Operation *, unsigned>> uses;
+    std::string nameHint;        ///< optional printing hint
+};
+
+/** A lightweight SSA value handle. */
+class Value {
+  public:
+    Value() = default;
+    explicit Value(ValueImpl *impl) : _impl(impl) {}
+
+    explicit operator bool() const { return _impl != nullptr; }
+    bool operator==(const Value &o) const { return _impl == o._impl; }
+    bool operator!=(const Value &o) const { return _impl != o._impl; }
+    bool operator<(const Value &o) const { return _impl < o._impl; }
+
+    Type type() const { return _impl->type; }
+    void setType(Type t) { _impl->type = t; }
+
+    /** Defining operation, or nullptr for a block argument. */
+    Operation *definingOp() const { return _impl->defOp; }
+    /** Owning block for block arguments, else nullptr. */
+    Block *ownerBlock() const { return _impl->ownerBlock; }
+    bool isBlockArg() const { return _impl->ownerBlock != nullptr; }
+    unsigned index() const { return _impl->index; }
+
+    const std::vector<std::pair<Operation *, unsigned>> &
+    uses() const
+    {
+        return _impl->uses;
+    }
+    bool hasUses() const { return !_impl->uses.empty(); }
+    size_t numUses() const { return _impl->uses.size(); }
+
+    /** Redirect every use of this value to @p other. */
+    void replaceAllUsesWith(Value other) const;
+
+    void setNameHint(std::string hint) { _impl->nameHint = std::move(hint); }
+    const std::string &nameHint() const { return _impl->nameHint; }
+
+    ValueImpl *impl() const { return _impl; }
+
+  private:
+    ValueImpl *_impl = nullptr;
+};
+
+} // namespace ir
+} // namespace eq
+
+#endif // EQ_IR_VALUE_HH

@@ -1,0 +1,23 @@
+#include "passes/passes.hh"
+
+#include "base/logging.hh"
+
+namespace eq {
+namespace passes {
+
+ir::Operation *
+findByTag(ir::Operation *root, const std::string &tag)
+{
+    ir::Operation *found = nullptr;
+    root->walk([&](ir::Operation *op) {
+        ir::Attribute a = op->attr(kTagAttr);
+        if (a && a.kind() == ir::AttrKind::String && a.asString() == tag) {
+            eq_assert(!found, "ambiguous eq.tag '", tag, "'");
+            found = op;
+        }
+    });
+    return found;
+}
+
+} // namespace passes
+} // namespace eq

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * linalg.conv / linalg.matmul / linalg.fill -> affine loop nests.
+ */
+
+#include "base/logging.hh"
+#include "dialects/affine.hh"
+#include "dialects/arith.hh"
+#include "dialects/linalg.hh"
+#include "ir/builder.hh"
+#include "passes/passes.hh"
+
+namespace eq {
+namespace passes {
+
+namespace {
+
+using ir::OpBuilder;
+using ir::Value;
+
+/** An opened loop nest: induction variables plus each level's body. */
+struct LoopNest {
+    std::vector<Value> ivs;
+    std::vector<ir::Block *> bodies;
+};
+
+/** Open a loop nest over @p ubs; leaves the builder inside the
+ *  innermost body. */
+LoopNest
+openLoopNest(OpBuilder &b, const std::vector<int64_t> &ubs)
+{
+    LoopNest nest;
+    for (int64_t ub : ubs) {
+        auto loop = b.create<affine::ForOp>(int64_t{0}, ub, int64_t{1});
+        affine::ForOp f(loop.op());
+        nest.ivs.push_back(f.inductionVar());
+        nest.bodies.push_back(&f.body());
+        b.setInsertionPointToEnd(&f.body());
+    }
+    return nest;
+}
+
+/** Terminate every level of the nest with affine.yield. */
+void
+closeLoopNest(OpBuilder &b, const LoopNest &nest)
+{
+    for (ir::Block *body : nest.bodies) {
+        OpBuilder yb(b.context());
+        yb.setInsertionPointToEnd(body);
+        yb.create<affine::YieldOp>(std::vector<Value>{});
+    }
+}
+
+void
+lowerConv(ir::Operation *conv)
+{
+    OpBuilder b(conv->context());
+    b.setInsertionPoint(conv);
+    linalg::ConvOp c(conv);
+    auto d = linalg::convDims(conv);
+    Value ifmap = c.ifmap();
+    Value weight = c.weight();
+    Value ofmap = c.ofmap();
+
+    auto nest = openLoopNest(b, {d.N, d.Eh, d.Ew, d.C, d.Fh, d.Fw});
+    const auto &ivs = nest.ivs;
+    Value n = ivs[0], eh = ivs[1], ew = ivs[2], ch = ivs[3], fh = ivs[4],
+          fw = ivs[5];
+    Value ih = b.create<arith::AddIOp>(eh, fh)->result(0);
+    Value iw = b.create<arith::AddIOp>(ew, fw)->result(0);
+    Value iv = b.create<affine::LoadOp>(ifmap,
+                                        std::vector<Value>{ch, ih, iw})
+                   ->result(0);
+    Value wv = b.create<affine::LoadOp>(
+                    weight, std::vector<Value>{n, ch, fh, fw})
+                   ->result(0);
+    Value ov = b.create<affine::LoadOp>(ofmap,
+                                        std::vector<Value>{n, eh, ew})
+                   ->result(0);
+    Value prod = b.create<arith::MulIOp>(iv, wv)->result(0);
+    Value sum = b.create<arith::AddIOp>(ov, prod)->result(0);
+    b.create<affine::StoreOp>(sum, ofmap, std::vector<Value>{n, eh, ew});
+    closeLoopNest(b, nest);
+    conv->erase();
+}
+
+void
+lowerFill(ir::Operation *fill)
+{
+    OpBuilder b(fill->context());
+    b.setInsertionPoint(fill);
+    linalg::FillOp f(fill);
+    Value memref = fill->operand(0);
+    const auto &shape = memref.type().shape();
+    Value cst = b.create<arith::ConstantOp>(f.fillValue(),
+                                            b.context().i32Type())
+                    ->result(0);
+    auto nest = openLoopNest(b, shape);
+    b.create<affine::StoreOp>(cst, memref, nest.ivs);
+    closeLoopNest(b, nest);
+    fill->erase();
+}
+
+void
+lowerMatmul(ir::Operation *mm)
+{
+    OpBuilder b(mm->context());
+    b.setInsertionPoint(mm);
+    Value a = mm->operand(0);
+    Value bm = mm->operand(1);
+    Value cm = mm->operand(2);
+    int64_t m = a.type().shape()[0];
+    int64_t k = a.type().shape()[1];
+    int64_t n = bm.type().shape()[1];
+    auto nest = openLoopNest(b, {m, n, k});
+    const auto &ivs = nest.ivs;
+    Value av = b.create<affine::LoadOp>(
+                    a, std::vector<Value>{ivs[0], ivs[2]})
+                   ->result(0);
+    Value bv = b.create<affine::LoadOp>(
+                    bm, std::vector<Value>{ivs[2], ivs[1]})
+                   ->result(0);
+    Value cv = b.create<affine::LoadOp>(
+                    cm, std::vector<Value>{ivs[0], ivs[1]})
+                   ->result(0);
+    Value prod = b.create<arith::MulIOp>(av, bv)->result(0);
+    Value sum = b.create<arith::AddIOp>(cv, prod)->result(0);
+    b.create<affine::StoreOp>(sum, cm,
+                              std::vector<Value>{ivs[0], ivs[1]});
+    closeLoopNest(b, nest);
+    mm->erase();
+}
+
+} // namespace
+
+std::string
+ConvertLinalgToAffinePass::runOnModule(ir::Operation *module)
+{
+    std::vector<ir::Operation *> worklist;
+    module->walk([&](ir::Operation *op) {
+        if (op->dialect() == "linalg")
+            worklist.push_back(op);
+    });
+    for (ir::Operation *op : worklist) {
+        if (op->name() == linalg::ConvOp::opName)
+            lowerConv(op);
+        else if (op->name() == linalg::FillOp::opName)
+            lowerFill(op);
+        else if (op->name() == linalg::MatmulOp::opName)
+            lowerMatmul(op);
+        else
+            return "unsupported linalg op '" + op->name() + "'";
+    }
+    return "";
+}
+
+} // namespace passes
+} // namespace eq

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * --parallel-to-equeue and --lower-extraction, plus loop coalescing.
+ */
+
+#include "base/logging.hh"
+#include "dialects/affine.hh"
+#include "dialects/arith.hh"
+#include "dialects/equeue.hh"
+#include "ir/builder.hh"
+#include "passes/passes.hh"
+
+namespace eq {
+namespace passes {
+
+using ir::OpBuilder;
+using ir::Value;
+
+std::string
+ParallelToEQueuePass::runOnModule(ir::Operation *module)
+{
+    std::vector<ir::Operation *> worklist;
+    module->walk([&](ir::Operation *op) {
+        if (op->name() == affine::ParallelOp::opName &&
+            op->attr("eq.proc_prefix"))
+            worklist.push_back(op);
+    });
+    for (ir::Operation *par_op : worklist) {
+        affine::ParallelOp par(par_op);
+        if (par_op->numOperands() != 1 ||
+            par_op->operand(0).type().kind() != ir::TypeKind::Comp)
+            return "tagged affine.parallel needs a component operand";
+        Value comp = par_op->operand(0);
+        std::string prefix = par_op->strAttr("eq.proc_prefix");
+        auto lbs = par.lbs();
+        auto ubs = par.ubs();
+        auto steps = par.steps();
+
+        OpBuilder b(module->context());
+        b.setInsertionPoint(par_op);
+        auto start = b.create<equeue::ControlStartOp>();
+        Value all_done;
+
+        // Unroll the (static) iteration domain.
+        std::vector<int64_t> ivs(lbs.begin(), lbs.end());
+        bool done = ivs.empty();
+        while (!done) {
+            auto extract = b.create<equeue::ExtractCompOp>(
+                comp, prefix, ivs, b.context().procType());
+            auto launch = b.create<equeue::LaunchOp>(
+                std::vector<Value>{start->result(0)},
+                extract->result(0), std::vector<Value>{},
+                std::vector<ir::Type>{});
+            {
+                // Clone the body with induction variables bound to the
+                // current constants.
+                OpBuilder::InsertionGuard g(b);
+                equeue::LaunchOp l(launch.op());
+                b.setInsertionPointToEnd(&l.body());
+                std::map<ir::ValueImpl *, Value> mapping;
+                for (size_t i = 0; i < ivs.size(); ++i) {
+                    auto cst = b.create<arith::ConstantOp>(
+                        ivs[i], b.context().indexType());
+                    mapping[par.body()
+                                .argument(static_cast<unsigned>(i))
+                                .impl()] = cst->result(0);
+                }
+                for (ir::Operation *inner : par.body()) {
+                    if (inner->name() == affine::YieldOp::opName)
+                        continue;
+                    b.insert(inner->clone(mapping));
+                }
+                b.create<equeue::ReturnOp>(std::vector<Value>{});
+            }
+            // Chain completion events with control_and (paper §VI-B.1).
+            if (!all_done) {
+                all_done = launch->result(0);
+            } else {
+                all_done = b.create<equeue::ControlAndOp>(
+                                std::vector<Value>{all_done,
+                                                   launch->result(0)})
+                               ->result(0);
+            }
+            // Lexicographic advance.
+            int dim = static_cast<int>(ivs.size()) - 1;
+            while (dim >= 0) {
+                ivs[dim] += steps[dim];
+                if (ivs[dim] < ubs[dim])
+                    break;
+                ivs[dim] = lbs[dim];
+                --dim;
+            }
+            done = dim < 0;
+        }
+        if (all_done)
+            b.create<equeue::AwaitOp>(std::vector<Value>{all_done});
+        par_op->erase();
+    }
+    return "";
+}
+
+std::string
+LowerExtractionPass::runOnModule(ir::Operation *module)
+{
+    std::vector<ir::Operation *> worklist;
+    module->walk([&](ir::Operation *op) {
+        if (op->name() == equeue::ExtractCompOp::opName)
+            worklist.push_back(op);
+    });
+    for (ir::Operation *op : worklist) {
+        equeue::ExtractCompOp ex(op);
+        OpBuilder b(module->context());
+        b.setInsertionPoint(op);
+        auto get = b.create<equeue::GetCompOp>(op->operand(0),
+                                               ex.resolvedName(),
+                                               op->result(0).type());
+        op->result(0).replaceAllUsesWith(get->result(0));
+        op->erase();
+    }
+    return "";
+}
+
+std::string
+CoalesceLoopsPass::runOnModule(ir::Operation *module)
+{
+    // Repeatedly merge tagged perfect 2-nests until none remain.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ir::Operation *target = nullptr;
+        module->walk([&](ir::Operation *op) {
+            if (!target && op->name() == affine::ForOp::opName &&
+                op->attr("eq.coalesce"))
+                target = op;
+        });
+        if (!target)
+            break;
+        affine::ForOp outer(target);
+        // Perfect nest check: body = [inner for, yield].
+        ir::Block &obody = outer.body();
+        if (obody.size() != 2 ||
+            obody.front()->name() != affine::ForOp::opName)
+            return "eq.coalesce target is not a perfect 2-nest";
+        affine::ForOp inner(obody.front());
+        if (outer.lb() != 0 || inner.lb() != 0 || outer.step() != 1 ||
+            inner.step() != 1)
+            return "coalescing requires normalized loops";
+        int64_t trip_o = outer.ub();
+        int64_t trip_i = inner.ub();
+
+        OpBuilder b(module->context());
+        b.setInsertionPoint(target);
+        auto fused = b.create<affine::ForOp>(int64_t{0}, trip_o * trip_i,
+                                             int64_t{1});
+        affine::ForOp f(fused.op());
+        {
+            OpBuilder::InsertionGuard g(b);
+            b.setInsertionPointToEnd(&f.body());
+            auto ti = b.create<arith::ConstantOp>(trip_i,
+                                                  b.context().indexType());
+            Value ov = b.create<arith::DivSIOp>(f.inductionVar(),
+                                                ti->result(0))
+                           ->result(0);
+            Value iv = b.create<arith::RemSIOp>(f.inductionVar(),
+                                                ti->result(0))
+                           ->result(0);
+            outer.inductionVar().replaceAllUsesWith(ov);
+            inner.inductionVar().replaceAllUsesWith(iv);
+            std::vector<ir::Operation *> to_move;
+            for (ir::Operation *op : inner.body())
+                if (op->name() != affine::YieldOp::opName)
+                    to_move.push_back(op);
+            for (ir::Operation *op : to_move)
+                op->moveToEnd(&f.body());
+            b.create<affine::YieldOp>(std::vector<Value>{});
+        }
+        // Propagate the tag so chains of coalesces keep reducing, then
+        // remove the old nest.
+        if (target->attr("eq.coalesce_chain"))
+            fused->setAttr("eq.coalesce", ir::Attribute::unit());
+        target->erase();
+        changed = true;
+    }
+    return "";
+}
+
+} // namespace passes
+} // namespace eq

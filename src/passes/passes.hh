@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The reusable lowering passes of Section V, plus the
+ * linalg-to-affine-loops conversion the pipeline starts with.
+ *
+ * Buffers are located across passes through the `eq.tag` string
+ * attribute on their defining alloc op; launches through `eq.tag` on the
+ * launch op. Parameterised passes take tags in their constructors, so
+ * the same pass composes into different dataflow pipelines with
+ * different arguments (the paper's central reusability claim, §VI-D).
+ */
+
+#ifndef EQ_PASSES_PASSES_HH
+#define EQ_PASSES_PASSES_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/pass.hh"
+
+namespace eq {
+namespace passes {
+
+/** Attribute used to locate tagged ops across passes. */
+constexpr const char *kTagAttr = "eq.tag";
+
+/** Find the unique op with `eq.tag == tag` under @p root (null if none,
+ *  fatal if ambiguous). */
+ir::Operation *findByTag(ir::Operation *root, const std::string &tag);
+
+// ---------------------------------------------------------------------------
+
+/** --convert-linalg-to-affine-loops: linalg.conv/matmul/fill to explicit
+ *  affine loop nests with affine.load/store + arith ops. */
+class ConvertLinalgToAffinePass : public ir::Pass {
+  public:
+    ConvertLinalgToAffinePass()
+        : Pass("convert-linalg-to-affine-loops")
+    {}
+    std::string runOnModule(ir::Operation *module) override;
+};
+
+/** --equeue-read-write (§V.1): affine.load/store on EQueue buffers to
+ *  equeue.read/write with indices. */
+class EQueueReadWritePass : public ir::Pass {
+  public:
+    EQueueReadWritePass() : Pass("equeue-read-write") {}
+    std::string runOnModule(ir::Operation *module) override;
+};
+
+/** --allocate-buffer (§V.2): create a memory component and allocate a
+ *  tagged buffer on it at the top of the module. */
+class AllocateMemoryPass : public ir::Pass {
+  public:
+    AllocateMemoryPass(std::string mem_kind, std::vector<int64_t> shape,
+                       unsigned elem_bits, unsigned banks,
+                       std::string buffer_tag)
+        : Pass("allocate-buffer"), _kind(std::move(mem_kind)),
+          _shape(std::move(shape)), _bits(elem_bits), _banks(banks),
+          _tag(std::move(buffer_tag))
+    {}
+    std::string runOnModule(ir::Operation *module) override;
+
+  private:
+    std::string _kind;
+    std::vector<int64_t> _shape;
+    unsigned _bits;
+    unsigned _banks;
+    std::string _tag;
+};
+
+/** --launch (§V.3): wrap the ops following the structure prologue of the
+ *  module into an equeue.launch on the tagged processor. */
+class LaunchPass : public ir::Pass {
+  public:
+    explicit LaunchPass(std::string proc_tag, std::string launch_tag)
+        : Pass("launch"), _procTag(std::move(proc_tag)),
+          _launchTag(std::move(launch_tag))
+    {}
+    std::string runOnModule(ir::Operation *module) override;
+
+  private:
+    std::string _procTag;
+    std::string _launchTag;
+};
+
+/** --mem-copy (§V.4): insert a memcpy between two tagged buffers over a
+ *  tagged DMA, before or after the tagged launch. */
+class MemcpyPass : public ir::Pass {
+  public:
+    MemcpyPass(std::string src_tag, std::string dst_tag,
+               std::string dma_tag, std::string launch_tag, bool before)
+        : Pass("mem-copy"), _src(std::move(src_tag)),
+          _dst(std::move(dst_tag)), _dma(std::move(dma_tag)),
+          _launch(std::move(launch_tag)), _before(before)
+    {}
+    std::string runOnModule(ir::Operation *module) override;
+
+  private:
+    std::string _src, _dst, _dma, _launch;
+    bool _before;
+};
+
+/** --memcpy-to-launch (§V.5): rewrite each equeue.memcpy into an
+ *  equivalent equeue.launch on its DMA containing read + write. */
+class MemcpyToLaunchPass : public ir::Pass {
+  public:
+    MemcpyToLaunchPass() : Pass("memcpy-to-launch") {}
+    std::string runOnModule(ir::Operation *module) override;
+};
+
+/** --split-launch (§V.6): split a launch body at every op carrying the
+ *  `eq.split` unit attribute into a dependency-chained launch sequence. */
+class SplitLaunchPass : public ir::Pass {
+  public:
+    SplitLaunchPass() : Pass("split-launch") {}
+    std::string runOnModule(ir::Operation *module) override;
+};
+
+/** --merge-memcpy-launch (§V.7): fold a memcpy that gates a launch and
+ *  feeds one of its captured buffers into the head of the launch body. */
+class MergeMemcpyLaunchPass : public ir::Pass {
+  public:
+    MergeMemcpyLaunchPass() : Pass("merge-memcpy-launch") {}
+    std::string runOnModule(ir::Operation *module) override;
+};
+
+/** --reassign-buffer (§V.8): replace every use of the buffer tagged
+ *  @p from with the buffer tagged @p to (e.g. SRAM -> register). Reads
+ *  and writes whose index rank no longer matches become whole-buffer
+ *  accesses on the new (smaller) buffer. */
+class ReassignBufferPass : public ir::Pass {
+  public:
+    ReassignBufferPass(std::string from, std::string to)
+        : Pass("reassign-buffer"), _from(std::move(from)),
+          _to(std::move(to))
+    {}
+    std::string runOnModule(ir::Operation *module) override;
+
+  private:
+    std::string _from, _to;
+};
+
+/** --parallel-to-equeue (§V.9): unroll a tagged affine.parallel into
+ *  per-iteration equeue.launch ops on per-iteration processors
+ *  (symbolic `equeue.extract_comp` references), chained with
+ *  control_and and closed by an await. */
+class ParallelToEQueuePass : public ir::Pass {
+  public:
+    ParallelToEQueuePass() : Pass("parallel-to-equeue") {}
+    std::string runOnModule(ir::Operation *module) override;
+};
+
+/** --lower-extraction (§V.10): resolve symbolic `equeue.extract_comp`
+ *  references (prefix + constant indices) into equeue.get_comp. */
+class LowerExtractionPass : public ir::Pass {
+  public:
+    LowerExtractionPass() : Pass("lower-extraction") {}
+    std::string runOnModule(ir::Operation *module) override;
+};
+
+/** Loop coalescing (the flattening step of §VI-D stage 3): merge a
+ *  perfectly nested pair of affine.for loops tagged `eq.coalesce` into
+ *  one loop, reconstructing the indices with divsi/remsi. */
+class CoalesceLoopsPass : public ir::Pass {
+  public:
+    CoalesceLoopsPass() : Pass("coalesce-loops") {}
+    std::string runOnModule(ir::Operation *module) override;
+};
+
+} // namespace passes
+} // namespace eq
+
+#endif // EQ_PASSES_PASSES_HH

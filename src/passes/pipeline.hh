@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The four-stage lowering pipeline of Section VI-D (Fig. 10 / Fig. 11):
+ *
+ *   Linalg  -> Affine -> Reassign -> Systolic
+ *
+ * All dataflows share the first three stages; the final systolic
+ * conversion takes dataflow-specific parameters. Each stage is a
+ * composition of the reusable passes in passes.hh; the module remains
+ * executable by the generic simulation engine after every stage, which
+ * is what enables simulation at multiple abstraction levels (Fig. 1).
+ */
+
+#ifndef EQ_PASSES_PIPELINE_HH
+#define EQ_PASSES_PIPELINE_HH
+
+#include <string>
+
+#include "ir/builder.hh"
+#include "ir/pass.hh"
+#include "scalesim/scalesim.hh"
+
+namespace eq {
+namespace passes {
+
+enum class Stage { Linalg, Affine, Reassign, Systolic };
+
+std::string stageName(Stage s);
+
+/**
+ * Build the Linalg-stage input module: host processor + SRAM structure,
+ * ifmap/weight/ofmap buffers (tagged), and a bare linalg.conv at module
+ * scope (the launch pass wraps it during lowering).
+ */
+ir::OwningOpRef buildConvModule(ir::Context &ctx,
+                                const scalesim::Config &cfg);
+
+/**
+ * Lower a freshly built conv module to @p stage in place.
+ * @return empty on success, else a pass diagnostic.
+ */
+std::string lowerConvModule(ir::Operation *module, Stage stage,
+                            const scalesim::Config &cfg);
+
+/** Convenience: build + lower in one step. */
+ir::OwningOpRef buildConvAtStage(ir::Context &ctx, Stage stage,
+                                 const scalesim::Config &cfg);
+
+} // namespace passes
+} // namespace eq
+
+#endif // EQ_PASSES_PIPELINE_HH

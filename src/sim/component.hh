@@ -1,0 +1,388 @@
+/**
+ * @file
+ * The component library (Section IV-D).
+ *
+ * Class hierarchy mirrors the paper: a generic Device base manages
+ * schedule queues (bank/port occupancy) to model contention; Memory
+ * subclasses override getReadOrWriteCycles; Processor carries the event
+ * queue and a per-kind cost table; Dma is a movement-only processor;
+ * Connection models bandwidth-limited links; StreamFifo models AXI-stream
+ * style FIFOs. Users extend the library by registering factories with
+ * ComponentFactory (the `Cache` example lives in tests/examples).
+ */
+
+#ifndef EQ_SIM_COMPONENT_HH
+#define EQ_SIM_COMPONENT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simvalue.hh"
+
+namespace eq {
+namespace sim {
+
+using Cycles = uint64_t;
+
+/** Base of every modeled hardware entity; nodes of the hierarchy tree. */
+class Component {
+  public:
+    explicit Component(std::string name) : _name(std::move(name)) {}
+    virtual ~Component() = default;
+
+    const std::string &name() const { return _name; }
+    void setName(std::string n) { _name = std::move(n); }
+
+    Component *parent() const { return _parent; }
+    void
+    addChild(const std::string &child_name, Component *child)
+    {
+        _children[child_name] = child;
+        child->_parent = this;
+        child->setName(child_name);
+    }
+    Component *
+    child(const std::string &child_name) const
+    {
+        auto it = _children.find(child_name);
+        return it == _children.end() ? nullptr : it->second;
+    }
+    const std::map<std::string, Component *> &
+    children() const
+    {
+        return _children;
+    }
+
+    /** Dotted path from the root, for trace/report labels. */
+    std::string path() const;
+
+  private:
+    std::string _name;
+    Component *_parent = nullptr;
+    std::map<std::string, Component *> _children;
+};
+
+/**
+ * A Device owns one or more schedule queues ("banks"/"ports"); an access
+ * reserves the earliest-free queue, modeling stalls under contention.
+ */
+class Device : public Component {
+  public:
+    Device(std::string name, unsigned num_queues)
+        : Component(std::move(name)), _nextFree(num_queues, 0)
+    {}
+
+    /**
+     * Reserve a queue for @p cycles starting no earlier than @p now.
+     * @return the cycle at which the reservation begins (>= now).
+     */
+    Cycles
+    acquire(Cycles now, Cycles cycles)
+    {
+        // Pick the earliest-free queue deterministically.
+        size_t best = 0;
+        for (size_t i = 1; i < _nextFree.size(); ++i)
+            if (_nextFree[i] < _nextFree[best])
+                best = i;
+        Cycles start = std::max(now, _nextFree[best]);
+        _nextFree[best] = start + cycles;
+        return start;
+    }
+
+    unsigned numQueues() const
+    {
+        return static_cast<unsigned>(_nextFree.size());
+    }
+
+  private:
+    std::vector<Cycles> _nextFree;
+};
+
+/**
+ * A memory component. The base class charges `cyclesPerWord` of bank
+ * occupancy per word accessed; subclasses override getReadOrWriteCycles
+ * to implement richer models (caches, DRAM row policy, ...).
+ */
+class Memory : public Device {
+  public:
+    Memory(std::string name, std::string kind, std::vector<int64_t> shape,
+           unsigned data_bits, unsigned banks, Cycles cycles_per_word)
+        : Device(std::move(name), banks), _kind(std::move(kind)),
+          _shape(std::move(shape)), _dataBits(data_bits),
+          _cyclesPerWord(cycles_per_word)
+    {}
+
+    const std::string &kind() const { return _kind; }
+    unsigned dataBits() const { return _dataBits; }
+    const std::vector<int64_t> &shape() const { return _shape; }
+
+    /**
+     * Bank-occupancy cycles for accessing @p words words (§IV-D: the
+     * method users override when extending the library).
+     * @param is_write true for writes
+     * @param words number of words touched
+     */
+    virtual Cycles
+    getReadOrWriteCycles(bool is_write, int64_t words)
+    {
+        (void)is_write;
+        return _cyclesPerWord * static_cast<Cycles>(words);
+    }
+
+    /// @name Bandwidth accounting
+    /// @{
+    void
+    recordAccess(bool is_write, int64_t bytes)
+    {
+        (is_write ? _bytesWritten : _bytesRead) += bytes;
+    }
+    int64_t bytesRead() const { return _bytesRead; }
+    int64_t bytesWritten() const { return _bytesWritten; }
+    /// @}
+
+  private:
+    std::string _kind;
+    std::vector<int64_t> _shape;
+    unsigned _dataBits;
+    Cycles _cyclesPerWord;
+    int64_t _bytesRead = 0;
+    int64_t _bytesWritten = 0;
+};
+
+/** An allocation placed on a Memory by equeue.alloc. */
+struct BufferObj {
+    Memory *mem = nullptr;
+    std::shared_ptr<Tensor> data;
+    std::string label; ///< printing/tracing aid
+
+    int64_t sizeBytes() const { return data ? data->sizeBytes() : 0; }
+};
+
+// Forward declaration; definition lives in engine.cc.
+struct Event;
+
+/**
+ * A processor executes launched code blocks from its FIFO event queue,
+ * one at a time (§III-D). The cost table assigns per-op processor
+ * occupancy by op name, resolved by kind (see costmodel.cc).
+ */
+class Processor : public Device {
+  public:
+    Processor(std::string name, std::string kind)
+        : Device(std::move(name), /*num_queues=*/1), _kind(std::move(kind))
+    {}
+
+    const std::string &kind() const { return _kind; }
+
+    /// @name Event queue
+    /// @{
+    std::deque<Event *> &queue() { return _queue; }
+    bool busy() const { return _busy; }
+    void setBusy(bool b) { _busy = b; }
+    /// @}
+
+    /// @name Utilization stats
+    /// @{
+    void recordBusy(Cycles cycles) { _busyCycles += cycles; }
+    Cycles busyCycles() const { return _busyCycles; }
+    void recordOp() { ++_opsExecuted; }
+    uint64_t opsExecuted() const { return _opsExecuted; }
+    /// @}
+
+  private:
+    std::string _kind;
+    std::deque<Event *> _queue;
+    bool _busy = false;
+    Cycles _busyCycles = 0;
+    uint64_t _opsExecuted = 0;
+};
+
+/** A DMA engine: a processor specialised for data movement. */
+class Dma : public Processor {
+  public:
+    explicit Dma(std::string name)
+        : Processor(std::move(name), "DMA")
+    {}
+};
+
+/**
+ * A bandwidth-constrained link (§III-A). Streaming connections carry
+ * reads and writes on independent channels; Window connections lock the
+ * single channel exclusively. Bandwidth 0 means unlimited.
+ */
+class Connection : public Component {
+  public:
+    Connection(std::string name, std::string kind, int64_t bytes_per_cycle)
+        : Component(std::move(name)), _kind(std::move(kind)),
+          _bw(bytes_per_cycle)
+    {}
+
+    const std::string &kind() const { return _kind; }
+    bool isWindow() const { return _kind == "Window"; }
+    int64_t bandwidth() const { return _bw; }
+    bool unlimited() const { return _bw <= 0; }
+
+    /** Cycles to move @p bytes across this link (0 when unlimited). */
+    Cycles
+    transferCycles(int64_t bytes) const
+    {
+        if (unlimited())
+            return 0;
+        return static_cast<Cycles>((bytes + _bw - 1) / _bw);
+    }
+
+    /**
+     * Reserve the link channel. Window connections share one channel
+     * between reads and writes; Streaming ones have two.
+     * @return transfer start cycle (>= now).
+     */
+    Cycles
+    acquireChannel(bool is_read, Cycles now, Cycles cycles)
+    {
+        Cycles &free = (isWindow() || is_read) ? _readFree : _writeFree;
+        Cycles start = std::max(now, free);
+        free = start + cycles;
+        if (isWindow()) {
+            // Exclusive lock: both directions blocked.
+            _writeFree = _readFree;
+        }
+        return start;
+    }
+
+    /** Record a completed transfer for bandwidth statistics. */
+    void
+    recordTransfer(bool is_read, Cycles start, Cycles end, int64_t bytes)
+    {
+        _intervals.push_back({is_read, start, end, bytes});
+        (is_read ? _readBytes : _writeBytes) += bytes;
+    }
+
+    struct Interval {
+        bool isRead;
+        Cycles start, end;
+        int64_t bytes;
+    };
+    const std::vector<Interval> &intervals() const { return _intervals; }
+    int64_t readBytes() const { return _readBytes; }
+    int64_t writeBytes() const { return _writeBytes; }
+
+  private:
+    std::string _kind;
+    int64_t _bw;
+    Cycles _readFree = 0;
+    Cycles _writeFree = 0;
+    int64_t _readBytes = 0;
+    int64_t _writeBytes = 0;
+    std::vector<Interval> _intervals;
+};
+
+/**
+ * An AXI-stream style FIFO endpoint. Elements become visible to readers
+ * at their arrival cycle; reads block until enough elements arrived.
+ */
+class StreamFifo : public Component {
+  public:
+    StreamFifo(std::string name, unsigned data_bits)
+        : Component(std::move(name)), _dataBits(data_bits)
+    {}
+
+    unsigned dataBits() const { return _dataBits; }
+
+    /** Push one element that becomes visible at @p ready. */
+    void
+    push(int64_t value, Cycles ready)
+    {
+        _fifo.push_back({ready, value});
+        ++_totalPushed;
+    }
+
+    /** How many elements are visible at time @p now. */
+    size_t
+    available(Cycles now) const
+    {
+        size_t n = 0;
+        for (const auto &e : _fifo) {
+            if (e.ready <= now)
+                ++n;
+            else
+                break;
+        }
+        return n;
+    }
+
+    /** Earliest cycle at which @p count elements are visible, or
+     *  kNoReadyTime when fewer than @p count elements exist yet. */
+    static constexpr Cycles kNoReadyTime = ~0ull;
+    Cycles
+    readyTime(size_t count) const
+    {
+        if (_fifo.size() < count)
+            return kNoReadyTime;
+        return _fifo[count - 1].ready;
+    }
+
+    /** Pop @p count elements (caller checked availability). */
+    std::vector<int64_t>
+    pop(size_t count)
+    {
+        std::vector<int64_t> out;
+        out.reserve(count);
+        for (size_t i = 0; i < count; ++i) {
+            out.push_back(_fifo.front().value);
+            _fifo.pop_front();
+        }
+        _totalPopped += count;
+        return out;
+    }
+
+    size_t depth() const { return _fifo.size(); }
+    uint64_t totalPushed() const { return _totalPushed; }
+    uint64_t totalPopped() const { return _totalPopped; }
+
+  private:
+    struct Elem {
+        Cycles ready;
+        int64_t value;
+    };
+    unsigned _dataBits;
+    std::deque<Elem> _fifo;
+    uint64_t _totalPushed = 0;
+    uint64_t _totalPopped = 0;
+};
+
+/**
+ * Factory for memory components, keyed by the `kind` string of
+ * equeue.create_mem. Users register custom kinds (e.g. "Cache") to extend
+ * the library without touching the engine (§IV-D).
+ */
+class ComponentFactory {
+  public:
+    using MemoryMaker = std::function<std::unique_ptr<Memory>(
+        const std::string &name, std::vector<int64_t> shape,
+        unsigned data_bits, unsigned banks)>;
+
+    ComponentFactory();
+
+    /** Register (or replace) a memory kind. */
+    void registerMemoryKind(const std::string &kind, MemoryMaker maker);
+    bool hasMemoryKind(const std::string &kind) const;
+
+    std::unique_ptr<Memory> makeMemory(const std::string &kind,
+                                       const std::string &name,
+                                       std::vector<int64_t> shape,
+                                       unsigned data_bits,
+                                       unsigned banks) const;
+
+  private:
+    std::map<std::string, MemoryMaker> _memoryKinds;
+};
+
+} // namespace sim
+} // namespace eq
+
+#endif // EQ_SIM_COMPONENT_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Per-processor-kind operation cost tables and analytic costs for
+ * high-level (Linalg) ops.
+ *
+ * Processor kinds model the paper's component library tags:
+ *  - "ARMr5"/"ARMr6"/"Generic": scalar control cores; every interpreted
+ *    compute/data op costs one cycle (loads, stores, arithmetic, loop
+ *    back-edges), bookkeeping (event ops, allocation) is free.
+ *  - "MAC": a systolic processing element; data movement is part of the
+ *    datapath (free), fused multiply-accumulate (equeue.op "mac") and
+ *    scalar arithmetic cost one cycle.
+ *  - "AIEngine": a VLIW SIMD core; vector intrinsics via equeue.op cost
+ *    one cycle, stream/register moves are issued by dedicated units
+ *    (free to the core).
+ *  - "DMA": only executes memcpy; its timing is bandwidth-derived.
+ */
+
+#ifndef EQ_SIM_COSTMODEL_HH
+#define EQ_SIM_COSTMODEL_HH
+
+#include <string>
+
+#include "ir/operation.hh"
+#include "sim/component.hh"
+
+namespace eq {
+namespace sim {
+
+/** Static cost model resolving (processor kind, op) -> cycles. */
+class CostModel {
+  public:
+    /** Processor occupancy in cycles for interpreting @p op. */
+    static Cycles opCycles(const std::string &proc_kind,
+                           ir::Operation *op);
+
+    /** Analytic cost of a linalg op on a scalar core (naive schedule,
+     *  every operand element fetched from backing memory). */
+    static Cycles linalgCycles(ir::Operation *op);
+
+    /** True if the kind is a scalar control core. */
+    static bool isScalarCore(const std::string &proc_kind);
+};
+
+} // namespace sim
+} // namespace eq
+
+#endif // EQ_SIM_COSTMODEL_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The generic EQueue simulation engine (Section IV).
+ *
+ * The Simulator interprets a module containing any mix of dialects:
+ *  - fully lowered EQueue programs execute with per-component contention,
+ *    event queues, and bandwidth-limited connections;
+ *  - Affine-level programs execute loop-by-loop on scalar cores;
+ *  - Linalg-level ops execute with analytic cost models.
+ * This realises the multi-level simulation spectrum of Fig. 1.
+ *
+ * Execution is a deterministic single-threaded discrete-event simulation:
+ * a time-ordered heap drives processor issue, operation completion, and
+ * event dependency resolution. Per the paper's semantics (§III-D), every
+ * processor owns a FIFO event queue; a launch enqueues an event; the
+ * queue head issues once its dependencies complete; each processor
+ * executes one event at a time; blocks run sequentially but spawn
+ * concurrent events on other processors.
+ */
+
+#ifndef EQ_SIM_ENGINE_HH
+#define EQ_SIM_ENGINE_HH
+
+#include <memory>
+
+#include "ir/operation.hh"
+#include "sim/component.hh"
+#include "sim/opfunctions.hh"
+#include "sim/report.hh"
+#include "sim/trace.hh"
+
+namespace eq {
+namespace sim {
+
+/** Engine configuration. */
+struct EngineOptions {
+    /** Record operation-level trace slices (costs memory). */
+    bool enableTrace = false;
+    /** Run the IR verifier before simulating. */
+    bool verifyModule = true;
+    /** Runaway-program guard: abort after this many interpreted ops. */
+    uint64_t maxOps = 500'000'000;
+};
+
+/**
+ * The generic simulator. One instance can run many modules; custom
+ * operation functions and component kinds registered on it persist
+ * across runs (per §IV-D extensibility).
+ */
+class Simulator {
+  public:
+    explicit Simulator(EngineOptions opts = {});
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /**
+     * Simulate @p module to completion.
+     * @return profiling summary (§IV-B)
+     */
+    SimReport simulate(ir::Operation *module);
+
+    /** Trace of the most recent run (enable via options). */
+    Trace &trace();
+
+    /** Custom `equeue.op` signatures (§III-E). */
+    OpFunctionRegistry &opFunctions();
+
+    /** Custom component kinds, e.g. a Cache memory (§IV-D). */
+    ComponentFactory &componentFactory();
+
+    /** Engine internals (public so the interpreter in engine.cc can
+     *  collaborate with it; not part of the user-facing API). */
+    struct Impl;
+
+  private:
+    std::unique_ptr<Impl> _impl;
+};
+
+} // namespace sim
+} // namespace eq
+
+#endif // EQ_SIM_ENGINE_HH

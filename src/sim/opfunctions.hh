@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Operation-function registry for `equeue.op` custom signatures
+ * (Sections III-E and IV-D).
+ *
+ * An operation function receives the evaluated arguments (buffers are
+ * passed as mutable BufferObj handles) and returns a cycle count plus any
+ * result values. The engine consults the registry whenever it interprets
+ * an `equeue.op`.
+ */
+
+#ifndef EQ_SIM_OPFUNCTIONS_HH
+#define EQ_SIM_OPFUNCTIONS_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/operation.hh"
+#include "sim/component.hh"
+#include "sim/simvalue.hh"
+
+namespace eq {
+namespace sim {
+
+/** Evaluated call site of an equeue.op. */
+struct OpCall {
+    ir::Operation *op = nullptr;
+    std::vector<SimValue> args;
+    Processor *proc = nullptr;
+};
+
+/** What an operation function reports back to the scheduler. */
+struct OpFnResult {
+    Cycles cycles = 1;
+    std::vector<SimValue> results;
+};
+
+using OpFunction = std::function<OpFnResult(const OpCall &)>;
+
+/** Registry mapping signature strings to operation functions. */
+class OpFunctionRegistry {
+  public:
+    /** Construct with the built-in library ("mac", "mul4", "mac4"). */
+    OpFunctionRegistry();
+
+    void registerOp(const std::string &signature, OpFunction fn);
+    bool has(const std::string &signature) const;
+
+    /** Invoke; fatal if the signature is unknown. */
+    OpFnResult invoke(const std::string &signature,
+                      const OpCall &call) const;
+
+  private:
+    std::map<std::string, OpFunction> _fns;
+};
+
+} // namespace sim
+} // namespace eq
+
+#endif // EQ_SIM_OPFUNCTIONS_HH

@@ -1,0 +1,72 @@
+#include "sim/report.hh"
+
+#include <iomanip>
+#include <ostream>
+
+namespace eq {
+namespace sim {
+
+const MemReport *
+SimReport::findMem(const std::string &name) const
+{
+    for (const auto &m : memories)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+const ConnReport *
+SimReport::findConn(const std::string &name) const
+{
+    for (const auto &c : connections)
+        if (c.name == name)
+            return &c;
+    return nullptr;
+}
+
+void
+SimReport::print(std::ostream &os) const
+{
+    os << "=== simulation summary ===\n";
+    os << "simulated runtime: " << cycles << " cycles\n";
+    os << "execution time:    " << std::fixed << std::setprecision(6)
+       << wallSeconds << " s\n";
+    os << "events executed:   " << eventsExecuted << "\n";
+    os << "ops executed:      " << opsExecuted << "\n";
+    if (!memories.empty()) {
+        os << "--- memories ---\n";
+        for (const auto &m : memories) {
+            os << "  " << m.name << " (" << m.kind << "): read "
+               << m.bytesRead << " B (" << std::setprecision(3)
+               << m.avgReadBw << " B/cyc), written " << m.bytesWritten
+               << " B (" << m.avgWriteBw << " B/cyc)\n";
+        }
+    }
+    if (!connections.empty()) {
+        os << "--- connections ---\n";
+        for (const auto &c : connections) {
+            os << "  " << c.name << " (" << c.kind << ", "
+               << (c.bandwidthLimit > 0
+                       ? std::to_string(c.bandwidthLimit) + " B/cyc"
+                       : std::string("unlimited"))
+               << "): read " << c.readBytes << " B ("
+               << std::setprecision(3) << c.avgReadBw
+               << " B/cyc), written " << c.writeBytes << " B ("
+               << c.avgWriteBw << " B/cyc), max " << c.maxBw
+               << " B/cyc, max-portion r/w " << c.maxBwPortionRead << "/"
+               << c.maxBwPortionWrite << "\n";
+        }
+    }
+    if (!processors.empty()) {
+        os << "--- processors ---\n";
+        for (const auto &p : processors) {
+            os << "  " << p.name << " (" << p.kind << "): busy "
+               << p.busyCycles << " cycles (" << std::setprecision(3)
+               << (p.utilization * 100.0) << "%), " << p.opsExecuted
+               << " ops\n";
+        }
+    }
+}
+
+} // namespace sim
+} // namespace eq

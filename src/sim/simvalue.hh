@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Runtime values manipulated by the simulation engine's interpreter.
+ *
+ * The engine executes programs functionally (an `addi` really adds), so
+ * values carry data: scalars, tensors, and handles onto simulation
+ * objects (components, buffers, connections, streams, events).
+ */
+
+#ifndef EQ_SIM_SIMVALUE_HH
+#define EQ_SIM_SIMVALUE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace eq {
+namespace sim {
+
+class Component;
+class Connection;
+class StreamFifo;
+struct BufferObj;
+
+/** Dense integer tensor (element width tracked for byte accounting). */
+struct Tensor {
+    std::vector<int64_t> shape;
+    std::vector<int64_t> data;
+    unsigned elemBits = 32;
+
+    int64_t
+    numElements() const
+    {
+        int64_t n = 1;
+        for (int64_t d : shape)
+            n *= d;
+        return n;
+    }
+    int64_t
+    sizeBytes() const
+    {
+        return numElements() * ((elemBits + 7) / 8);
+    }
+
+    static std::shared_ptr<Tensor>
+    zeros(std::vector<int64_t> shape, unsigned elem_bits)
+    {
+        auto t = std::make_shared<Tensor>();
+        t->shape = std::move(shape);
+        t->elemBits = elem_bits;
+        t->data.assign(t->numElements(), 0);
+        return t;
+    }
+
+    /** Row-major flattened offset of a multi-dim index. */
+    int64_t
+    offset(const std::vector<int64_t> &idx) const
+    {
+        eq_assert(idx.size() == shape.size(), "tensor rank mismatch");
+        int64_t off = 0;
+        for (size_t i = 0; i < idx.size(); ++i) {
+            eq_assert(idx[i] >= 0 && idx[i] < shape[i],
+                      "tensor index out of bounds");
+            off = off * shape[i] + idx[i];
+        }
+        return off;
+    }
+};
+
+/** Id of an Event managed by the engine. */
+using EventId = uint64_t;
+constexpr EventId kNoEvent = ~0ull;
+
+/** A runtime value: scalar, tensor, or simulation-object handle. */
+class SimValue {
+  public:
+    SimValue() = default;
+
+    static SimValue
+    ofInt(int64_t v)
+    {
+        SimValue s;
+        s._v = v;
+        return s;
+    }
+    static SimValue
+    ofFloat(double v)
+    {
+        SimValue s;
+        s._v = v;
+        return s;
+    }
+    static SimValue
+    ofTensor(std::shared_ptr<Tensor> t)
+    {
+        SimValue s;
+        s._v = std::move(t);
+        return s;
+    }
+    static SimValue
+    ofEvent(EventId e)
+    {
+        SimValue s;
+        s._v = Ev{e};
+        return s;
+    }
+    static SimValue
+    ofComponent(Component *c)
+    {
+        SimValue s;
+        s._v = c;
+        return s;
+    }
+    static SimValue
+    ofBuffer(BufferObj *b)
+    {
+        SimValue s;
+        s._v = b;
+        return s;
+    }
+    static SimValue
+    ofConnection(Connection *c)
+    {
+        SimValue s;
+        s._v = Conn{c};
+        return s;
+    }
+    static SimValue
+    ofStream(StreamFifo *f)
+    {
+        SimValue s;
+        s._v = f;
+        return s;
+    }
+
+    bool isNone() const
+    {
+        return std::holds_alternative<std::monostate>(_v);
+    }
+    bool isInt() const { return std::holds_alternative<int64_t>(_v); }
+    bool isFloat() const { return std::holds_alternative<double>(_v); }
+    bool
+    isTensor() const
+    {
+        return std::holds_alternative<std::shared_ptr<Tensor>>(_v);
+    }
+    bool isEvent() const { return std::holds_alternative<Ev>(_v); }
+    bool
+    isComponent() const
+    {
+        return std::holds_alternative<Component *>(_v);
+    }
+    bool isBuffer() const { return std::holds_alternative<BufferObj *>(_v); }
+    bool isConnection() const { return std::holds_alternative<Conn>(_v); }
+    bool
+    isStream() const
+    {
+        return std::holds_alternative<StreamFifo *>(_v);
+    }
+
+    int64_t
+    asInt() const
+    {
+        if (isFloat())
+            return static_cast<int64_t>(std::get<double>(_v));
+        eq_assert(isInt(), "SimValue is not an int");
+        return std::get<int64_t>(_v);
+    }
+    double
+    asFloat() const
+    {
+        if (isInt())
+            return static_cast<double>(std::get<int64_t>(_v));
+        eq_assert(isFloat(), "SimValue is not a float");
+        return std::get<double>(_v);
+    }
+    const std::shared_ptr<Tensor> &
+    asTensor() const
+    {
+        eq_assert(isTensor(), "SimValue is not a tensor");
+        return std::get<std::shared_ptr<Tensor>>(_v);
+    }
+    EventId
+    asEvent() const
+    {
+        eq_assert(isEvent(), "SimValue is not an event");
+        return std::get<Ev>(_v).id;
+    }
+    Component *
+    asComponent() const
+    {
+        eq_assert(isComponent(), "SimValue is not a component");
+        return std::get<Component *>(_v);
+    }
+    BufferObj *
+    asBuffer() const
+    {
+        eq_assert(isBuffer(), "SimValue is not a buffer");
+        return std::get<BufferObj *>(_v);
+    }
+    Connection *
+    asConnection() const
+    {
+        eq_assert(isConnection(), "SimValue is not a connection");
+        return std::get<Conn>(_v).conn;
+    }
+    StreamFifo *
+    asStream() const
+    {
+        eq_assert(isStream(), "SimValue is not a stream");
+        return std::get<StreamFifo *>(_v);
+    }
+
+    /** Byte size of the payload (tensors and scalars). */
+    int64_t
+    sizeBytes() const
+    {
+        if (isTensor())
+            return asTensor()->sizeBytes();
+        if (isInt() || isFloat())
+            return 4;
+        return 0;
+    }
+
+  private:
+    struct Ev {
+        EventId id;
+    };
+    struct Conn {
+        Connection *conn;
+    };
+    std::variant<std::monostate, int64_t, double, std::shared_ptr<Tensor>,
+                 Ev, Component *, BufferObj *, Conn, StreamFifo *>
+        _v;
+};
+
+} // namespace sim
+} // namespace eq
+
+#endif // EQ_SIM_SIMVALUE_HH

@@ -1,0 +1,44 @@
+#include "sim/trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/stringutil.hh"
+
+namespace eq {
+namespace sim {
+
+std::string
+Trace::toJson() const
+{
+    std::ostringstream os;
+    os << "[\n";
+    for (size_t i = 0; i < _events.size(); ++i) {
+        const TraceEvent &e = _events[i];
+        os << "  {\"name\": \"" << jsonEscape(e.name) << "\", "
+           << "\"cat\": \"" << jsonEscape(e.cat) << "\", "
+           << "\"ph\": \"X\", "
+           << "\"ts\": " << e.ts << ", "
+           << "\"dur\": " << (e.dur == 0 ? 1 : e.dur) << ", "
+           << "\"pid\": \"" << jsonEscape(e.pid) << "\", "
+           << "\"tid\": \"" << jsonEscape(e.tid) << "\"}";
+        if (i + 1 < _events.size())
+            os << ',';
+        os << '\n';
+    }
+    os << "]\n";
+    return os.str();
+}
+
+void
+Trace::writeFile(const std::string &file_path) const
+{
+    std::ofstream out(file_path);
+    if (!out)
+        eq_fatal("cannot open trace file '", file_path, "' for writing");
+    out << toJson();
+}
+
+} // namespace sim
+} // namespace eq

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Operation-level tracing in Chrome Trace Event Format (§IV-B).
+ *
+ * Records have the same schema as the paper's Fig. 7 example and load in
+ * any catapult-compatible viewer (chrome://tracing, Perfetto).
+ */
+
+#ifndef EQ_SIM_TRACE_HH
+#define EQ_SIM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eq {
+namespace sim {
+
+/** One complete ("ph":"X") trace slice. */
+struct TraceEvent {
+    std::string name; ///< op name, e.g. "equeue.read" or "mac4"
+    std::string cat;  ///< category, "operation"
+    std::string pid;  ///< component group (parent path)
+    std::string tid;  ///< processor name
+    uint64_t ts;      ///< start cycle (reported as microseconds)
+    uint64_t dur;     ///< duration in cycles
+};
+
+/** Accumulates trace events and serialises them to JSON. */
+class Trace {
+  public:
+    void setEnabled(bool e) { _enabled = e; }
+    bool enabled() const { return _enabled; }
+
+    void
+    record(TraceEvent ev)
+    {
+        if (_enabled)
+            _events.push_back(std::move(ev));
+    }
+
+    const std::vector<TraceEvent> &events() const { return _events; }
+    void clear() { _events.clear(); }
+
+    /** Serialise to Trace Event Format JSON. */
+    std::string toJson() const;
+    /** Write JSON to @p file_path (fatal on I/O error). */
+    void writeFile(const std::string &file_path) const;
+
+  private:
+    bool _enabled = false;
+    std::vector<TraceEvent> _events;
+};
+
+} // namespace sim
+} // namespace eq
+
+#endif // EQ_SIM_TRACE_HH

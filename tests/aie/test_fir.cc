@@ -1,0 +1,141 @@
+/**
+ * @file
+ * AI Engine FIR case-study tests (Section VII): the four design points
+ * simulate to the expected cycle counts, stall behaviour appears in the
+ * bandwidth-limited traces, and a parameter sweep pins the closed-form
+ * pipeline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aie/fir.hh"
+#include "sim/engine.hh"
+
+namespace {
+
+using namespace eq;
+using aie::FirConfig;
+
+sim::SimReport
+runFir(const FirConfig &cfg, sim::Simulator *sim_out = nullptr)
+{
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = aie::buildFirModule(ctx, cfg);
+    EXPECT_EQ(module->verify(), "");
+    if (sim_out)
+        return sim_out->simulate(module.get());
+    sim::Simulator s;
+    return s.simulate(module.get());
+}
+
+TEST(FirTest, Case1SingleCore2048Cycles)
+{
+    auto rep = runFir(FirConfig::case1());
+    // Paper §VII-C: 2048 cycles (128 groups x 16 compute ops);
+    // Xilinx's aiesimulator reports 2276 for the same design.
+    EXPECT_EQ(rep.cycles, 2048u);
+    EXPECT_EQ(aie::expectedFirCycles(FirConfig::case1()), 2048u);
+}
+
+TEST(FirTest, Case2SixteenCorePipeline143Cycles)
+{
+    auto rep = runFir(FirConfig::case2());
+    // Paper §VII-D: 128 groups + 15 warm-up = 143.
+    EXPECT_EQ(rep.cycles, 143u);
+    EXPECT_EQ(aie::expectedFirCycles(FirConfig::case2()), 143u);
+}
+
+TEST(FirTest, Case3BandwidthLimited588Cycles)
+{
+    auto rep = runFir(FirConfig::case3());
+    // Paper §VII-E: 588 cycles; warm-up 5*16-1 = 79.
+    EXPECT_EQ(rep.cycles, 588u);
+    EXPECT_EQ(aie::expectedFirCycles(FirConfig::case3()), 588u);
+}
+
+TEST(FirTest, Case4BalancedFourCores)
+{
+    auto rep = runFir(FirConfig::case4());
+    // Paper §VII-F reports 538 (aiesim: 539). Our model: each stage
+    // issues its stream write after 2 of 4 mac4 ops -> 4*(2+4) warm-up
+    // + 127*4 steady state = 532 cycles (within 1.2% of the paper).
+    EXPECT_EQ(rep.cycles, 532u);
+    EXPECT_EQ(aie::expectedFirCycles(FirConfig::case4()), 532u);
+    EXPECT_NEAR(double(rep.cycles), 538.0, 538.0 * 0.015);
+}
+
+TEST(FirTest, Case3StallsThreeOfFourCycles)
+{
+    // Fig. 13: with 32-bit links each core computes 1 cycle and stalls 3
+    // of every 4 -> AIE utilization ~= 1/4 in steady state.
+    auto rep = runFir(FirConfig::case3());
+    double total_util = 0.0;
+    int n = 0;
+    for (const auto &p : rep.processors) {
+        if (p.kind == "AIEngine") {
+            total_util += p.utilization;
+            ++n;
+        }
+    }
+    ASSERT_EQ(n, 16);
+    // Each core macs 128 cycles out of 588 => ~21.8%.
+    EXPECT_NEAR(total_util / n, 128.0 / 588.0, 0.02);
+}
+
+TEST(FirTest, Case4NoStallsAfterWarmup)
+{
+    // Fig. 14: the balanced 4-core system computes 4 of every 4 cycles.
+    auto rep = runFir(FirConfig::case4());
+    for (const auto &p : rep.processors) {
+        if (p.kind == "AIEngine") {
+            // 128 groups x 4 ops = 512 busy cycles of 532 total.
+            EXPECT_EQ(p.busyCycles, 512u);
+        }
+    }
+}
+
+TEST(FirTest, TraceShowsPipelineSlices)
+{
+    sim::EngineOptions opts;
+    opts.enableTrace = true;
+    sim::Simulator s(opts);
+    FirConfig small = FirConfig::case3();
+    small.samples = 64; // keep the trace compact
+    auto rep = runFir(small, &s);
+    (void)rep;
+    ASSERT_FALSE(s.trace().events().empty());
+    bool saw_mac4 = false, saw_mul4 = false;
+    for (const auto &e : s.trace().events()) {
+        if (e.name == "mac4")
+            saw_mac4 = true;
+        if (e.name == "mul4")
+            saw_mul4 = true;
+    }
+    EXPECT_TRUE(saw_mac4);
+    EXPECT_TRUE(saw_mul4);
+}
+
+/** Closed-form vs simulated cycles across pipeline shapes. */
+class FirSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FirSweep, SimulationMatchesClosedForm)
+{
+    auto [cores, bw] = GetParam();
+    FirConfig cfg;
+    cfg.cores = cores;
+    cfg.streamBandwidth = bw;
+    cfg.samples = 128; // 32 groups for speed
+    if (cfg.totalOpsPerGroup() % cores != 0)
+        GTEST_SKIP();
+    auto rep = runFir(cfg);
+    EXPECT_EQ(rep.cycles, aie::expectedFirCycles(cfg))
+        << "cores=" << cores << " bw=" << bw;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FirSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(0, 2, 4, 8)));
+
+} // namespace

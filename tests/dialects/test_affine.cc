@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Verifier and accessor unit tests for the affine dialect.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dialects/affine.hh"
+#include "dialects/memref.hh"
+#include "ir/builder.hh"
+
+namespace {
+
+using namespace eq;
+
+class AffineTest : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        ir::registerAllDialects(ctx);
+        module = ir::createModule(ctx);
+        b = std::make_unique<ir::OpBuilder>(ctx);
+        b->setInsertionPointToEnd(&module->region(0).front());
+    }
+    ir::Context ctx;
+    ir::OwningOpRef module;
+    std::unique_ptr<ir::OpBuilder> b;
+};
+
+TEST_F(AffineTest, ForOpBoundsAndBody)
+{
+    auto loop = b->create<affine::ForOp>(int64_t{2}, int64_t{10},
+                                         int64_t{2});
+    EXPECT_EQ(loop.lb(), 2);
+    EXPECT_EQ(loop.ub(), 10);
+    EXPECT_EQ(loop.step(), 2);
+    EXPECT_TRUE(loop.inductionVar().type().isIndex());
+    EXPECT_EQ(loop->verify(), "");
+}
+
+TEST_F(AffineTest, ParallelOpRankChecked)
+{
+    auto par = b->create<affine::ParallelOp>(
+        std::vector<int64_t>{0, 0}, std::vector<int64_t>{4, 8},
+        std::vector<int64_t>{});
+    EXPECT_EQ(par.body().numArguments(), 2u);
+    EXPECT_EQ(par->verify(), "");
+    EXPECT_EQ(par.steps(), (std::vector<int64_t>{1, 1}));
+}
+
+TEST_F(AffineTest, LoadStoreIndexCountMatchesRank)
+{
+    auto mr = b->create<memref::AllocOp>(std::vector<int64_t>{4, 4}, 32u);
+    auto loop = b->create<affine::ForOp>(int64_t{0}, int64_t{4}, int64_t{1});
+    ir::OpBuilder::InsertionGuard g(*b);
+    b->setInsertionPointToEnd(&loop.body());
+    ir::Value iv = loop.inductionVar();
+    auto load = b->create<affine::LoadOp>(mr->result(0),
+                                          std::vector<ir::Value>{iv, iv});
+    EXPECT_EQ(load->verify(), "");
+    EXPECT_EQ(load->result(0).type(), ctx.i32Type());
+    auto store = b->create<affine::StoreOp>(
+        load->result(0), mr->result(0), std::vector<ir::Value>{iv, iv});
+    EXPECT_EQ(store->verify(), "");
+    EXPECT_EQ(affine::StoreOp(store.op()).indices().size(), 2u);
+
+    auto *bad = b->create("affine.load", {ctx.i32Type()},
+                          {mr->result(0), iv});
+    EXPECT_NE(bad->verify(), "");
+}
+
+} // namespace

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Verifier unit tests for the arith dialect.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dialects/arith.hh"
+#include "ir/builder.hh"
+
+namespace {
+
+using namespace eq;
+
+class ArithTest : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        ir::registerAllDialects(ctx);
+        module = ir::createModule(ctx);
+        b = std::make_unique<ir::OpBuilder>(ctx);
+        b->setInsertionPointToEnd(&module->region(0).front());
+    }
+    ir::Context ctx;
+    ir::OwningOpRef module;
+    std::unique_ptr<ir::OpBuilder> b;
+};
+
+TEST_F(ArithTest, ConstantVerifies)
+{
+    auto c = b->create<arith::ConstantOp>(int64_t{3}, ctx.i32Type());
+    EXPECT_EQ(c->verify(), "");
+    auto f = b->create<arith::ConstantOp>(2.5, ctx.floatType(32));
+    EXPECT_EQ(f->verify(), "");
+    EXPECT_DOUBLE_EQ(f.value().asFloat(), 2.5);
+}
+
+TEST_F(ArithTest, ConstantMissingValueFails)
+{
+    auto *bad = b->create("arith.constant", {ctx.i32Type()}, {});
+    EXPECT_NE(bad->verify(), "");
+}
+
+TEST_F(ArithTest, BinaryArityEnforced)
+{
+    auto c = b->create<arith::ConstantOp>(int64_t{1}, ctx.i32Type());
+    auto *bad = b->create("arith.addi", {ctx.i32Type()}, {c->result(0)});
+    EXPECT_NE(bad->verify(), "");
+    auto good = b->create<arith::AddIOp>(c->result(0), c->result(0));
+    EXPECT_EQ(good->verify(), "");
+}
+
+} // namespace

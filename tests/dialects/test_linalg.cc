@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Verifier and shape tests for the linalg dialect.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dialects/linalg.hh"
+#include "dialects/memref.hh"
+#include "ir/builder.hh"
+
+namespace {
+
+using namespace eq;
+
+class LinalgTest : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        ir::registerAllDialects(ctx);
+        module = ir::createModule(ctx);
+        b = std::make_unique<ir::OpBuilder>(ctx);
+        b->setInsertionPointToEnd(&module->region(0).front());
+    }
+
+    ir::Value
+    alloc(std::vector<int64_t> shape)
+    {
+        return b->create<memref::AllocOp>(std::move(shape), 32u)->result(0);
+    }
+
+    ir::Context ctx;
+    ir::OwningOpRef module;
+    std::unique_ptr<ir::OpBuilder> b;
+};
+
+TEST_F(LinalgTest, ConvShapesAndDims)
+{
+    // C=3, H=W=8; N=4, Fh=Fw=3 -> Eh=Ew=6
+    auto conv = b->create<linalg::ConvOp>(alloc({3, 8, 8}),
+                                          alloc({4, 3, 3, 3}),
+                                          alloc({4, 6, 6}));
+    EXPECT_EQ(conv->verify(), "");
+    auto d = linalg::convDims(conv.op());
+    EXPECT_EQ(d.C, 3);
+    EXPECT_EQ(d.N, 4);
+    EXPECT_EQ(d.Eh, 6);
+    EXPECT_EQ(d.macs(), 4 * 6 * 6 * 3 * 3 * 3);
+}
+
+TEST_F(LinalgTest, ConvShapeMismatchFails)
+{
+    auto *bad = b->create(linalg::ConvOp::opName, {},
+                          {alloc({3, 8, 8}), alloc({4, 2, 3, 3}),
+                           alloc({4, 6, 6})});
+    EXPECT_NE(bad->verify(), "");
+    auto *bad2 = b->create(linalg::ConvOp::opName, {},
+                           {alloc({3, 8, 8}), alloc({4, 3, 3, 3}),
+                            alloc({4, 5, 6})});
+    EXPECT_NE(bad2->verify(), "");
+}
+
+TEST_F(LinalgTest, MatmulShapeChecked)
+{
+    auto good = b->create<linalg::MatmulOp>(alloc({2, 3}), alloc({3, 4}),
+                                            alloc({2, 4}));
+    EXPECT_EQ(good->verify(), "");
+    auto *bad = b->create(linalg::MatmulOp::opName, {},
+                          {alloc({2, 3}).impl() ? alloc({2, 3}) : alloc({2, 3}),
+                           alloc({2, 4}), alloc({2, 4})});
+    EXPECT_NE(bad->verify(), "");
+}
+
+TEST_F(LinalgTest, FillRequiresValue)
+{
+    auto fill = b->create<linalg::FillOp>(alloc({8}), int64_t{7});
+    EXPECT_EQ(fill->verify(), "");
+    EXPECT_EQ(fill.fillValue(), 7);
+    auto *bad = b->create(linalg::FillOp::opName, {}, {alloc({8})});
+    EXPECT_NE(bad->verify(), "");
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for attributes and attribute dictionaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/attribute.hh"
+#include "ir/context.hh"
+
+namespace {
+
+using namespace eq;
+using ir::Attribute;
+
+TEST(AttributeTest, ScalarKindsRoundTrip)
+{
+    EXPECT_EQ(Attribute::integer(42).asInt(), 42);
+    EXPECT_EQ(Attribute::integer(-7).asInt(), -7);
+    EXPECT_DOUBLE_EQ(Attribute::floating(2.5).asFloat(), 2.5);
+    EXPECT_EQ(Attribute::string("hello").asString(), "hello");
+    EXPECT_TRUE(Attribute::boolean(true).asBool());
+    EXPECT_FALSE(Attribute::boolean(false).asBool());
+}
+
+TEST(AttributeTest, StructuralEquality)
+{
+    EXPECT_EQ(Attribute::integer(3), Attribute::integer(3));
+    EXPECT_NE(Attribute::integer(3), Attribute::integer(4));
+    EXPECT_NE(Attribute::integer(3), Attribute::floating(3.0));
+    EXPECT_EQ(Attribute::string("x"), Attribute::string("x"));
+    EXPECT_EQ(Attribute::i64Array({1, 2}), Attribute::i64Array({1, 2}));
+    EXPECT_NE(Attribute::i64Array({1, 2}), Attribute::i64Array({2, 1}));
+    EXPECT_EQ(
+        Attribute::array({Attribute::integer(1), Attribute::string("a")}),
+        Attribute::array({Attribute::integer(1), Attribute::string("a")}));
+}
+
+TEST(AttributeTest, TypeRefAttr)
+{
+    ir::Context ctx;
+    auto a = Attribute::typeRef(ctx.i32Type());
+    EXPECT_EQ(a.asType(), ctx.i32Type());
+    EXPECT_EQ(a, Attribute::typeRef(ctx.i32Type()));
+    EXPECT_NE(a, Attribute::typeRef(ctx.i64Type()));
+}
+
+TEST(AttributeTest, Printing)
+{
+    EXPECT_EQ(Attribute::integer(5).str(), "5");
+    EXPECT_EQ(Attribute::string("hi").str(), "\"hi\"");
+    EXPECT_EQ(Attribute::boolean(true).str(), "true");
+    EXPECT_EQ(Attribute::i64Array({1, 2, 3}).str(), "dense[1, 2, 3]");
+    // Integral floats keep a float marker so the parser round-trips.
+    EXPECT_EQ(Attribute::floating(2.0).str(), "2.0");
+}
+
+TEST(AttrDictTest, SetGetOverwriteErase)
+{
+    ir::AttrDict d;
+    EXPECT_TRUE(d.empty());
+    d.set("a", Attribute::integer(1));
+    d.set("b", Attribute::string("x"));
+    EXPECT_EQ(d.size(), 2u);
+    EXPECT_EQ(d.get("a").asInt(), 1);
+    d.set("a", Attribute::integer(9));
+    EXPECT_EQ(d.get("a").asInt(), 9);
+    EXPECT_EQ(d.size(), 2u);
+    d.erase("a");
+    EXPECT_FALSE(d.contains("a"));
+    EXPECT_TRUE(d.contains("b"));
+    EXPECT_FALSE(static_cast<bool>(d.get("missing")));
+}
+
+TEST(AttrDictTest, PreservesInsertionOrder)
+{
+    ir::AttrDict d;
+    d.set("z", Attribute::integer(1));
+    d.set("a", Attribute::integer(2));
+    std::vector<std::string> names;
+    for (const auto &[name, attr] : d)
+        names.push_back(name);
+    EXPECT_EQ(names, (std::vector<std::string>{"z", "a"}));
+}
+
+} // namespace

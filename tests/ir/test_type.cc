@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for type interning and accessors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/context.hh"
+
+namespace {
+
+using namespace eq;
+
+TEST(TypeTest, InterningGivesPointerEquality)
+{
+    ir::Context ctx;
+    EXPECT_EQ(ctx.i32Type(), ctx.i32Type());
+    EXPECT_EQ(ctx.intType(7), ctx.intType(7));
+    EXPECT_NE(ctx.intType(7), ctx.intType(8));
+    EXPECT_EQ(ctx.eventType(), ctx.eventType());
+    EXPECT_NE(ctx.eventType(), ctx.procType());
+}
+
+TEST(TypeTest, ShapedTypesDistinguishShapeAndBits)
+{
+    ir::Context ctx;
+    auto a = ctx.bufferType({64}, 32);
+    auto b = ctx.bufferType({64}, 32);
+    auto c = ctx.bufferType({64}, 16);
+    auto d = ctx.bufferType({32}, 32);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, d);
+    EXPECT_NE(a, ctx.tensorType({64}, 32));
+}
+
+TEST(TypeTest, NumElementsAndBytes)
+{
+    ir::Context ctx;
+    auto t = ctx.tensorType({4, 4, 3}, 32);
+    EXPECT_EQ(t.numElements(), 48);
+    EXPECT_EQ(t.sizeBytes(), 192);
+    auto scalar = ctx.tensorType({}, 16);
+    EXPECT_EQ(scalar.numElements(), 1);
+    EXPECT_EQ(scalar.sizeBytes(), 2);
+}
+
+TEST(TypeTest, KindPredicates)
+{
+    ir::Context ctx;
+    EXPECT_TRUE(ctx.i32Type().isInteger());
+    EXPECT_TRUE(ctx.indexType().isIndex());
+    EXPECT_TRUE(ctx.eventType().isEvent());
+    EXPECT_TRUE(ctx.bufferType({4}, 32).isBuffer());
+    EXPECT_TRUE(ctx.bufferType({4}, 32).isShaped());
+    EXPECT_TRUE(ctx.procType().isComponent());
+    EXPECT_TRUE(ctx.memType().isComponent());
+    EXPECT_TRUE(ctx.compType().isComponent());
+    EXPECT_FALSE(ctx.eventType().isComponent());
+}
+
+TEST(TypeTest, Printing)
+{
+    ir::Context ctx;
+    EXPECT_EQ(ctx.i32Type().str(), "i32");
+    EXPECT_EQ(ctx.floatType(64).str(), "f64");
+    EXPECT_EQ(ctx.indexType().str(), "index");
+    EXPECT_EQ(ctx.eventType().str(), "!equeue.event");
+    EXPECT_EQ(ctx.tensorType({4, 4}, 32).str(), "tensor<4x4xi32>");
+    EXPECT_EQ(ctx.bufferType({64}, 32).str(), "!equeue.buffer<64xi32>");
+    EXPECT_EQ(ctx.memrefType({2, 3}, 16).str(), "memref<2x3xi16>");
+}
+
+TEST(TypeTest, NullHandleIsFalsey)
+{
+    ir::Type t;
+    EXPECT_FALSE(static_cast<bool>(t));
+}
+
+} // namespace

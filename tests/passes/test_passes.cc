@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Unit tests for each reusable lowering pass (Section V).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dialects/affine.hh"
+#include "dialects/arith.hh"
+#include "dialects/equeue.hh"
+#include "dialects/linalg.hh"
+#include "ir/builder.hh"
+#include "passes/passes.hh"
+#include "sim/engine.hh"
+
+namespace {
+
+using namespace eq;
+using namespace eq::passes;
+
+class PassTest : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        ir::registerAllDialects(ctx);
+        module = ir::createModule(ctx);
+        b = std::make_unique<ir::OpBuilder>(ctx);
+        b->setInsertionPointToEnd(&module->region(0).front());
+    }
+
+    int
+    countOps(const std::string &name)
+    {
+        int n = 0;
+        module->walk([&](ir::Operation *op) {
+            if (op->name() == name)
+                ++n;
+        });
+        return n;
+    }
+
+    std::string
+    run(std::unique_ptr<ir::Pass> pass)
+    {
+        ir::PassManager pm;
+        pm.addPass(std::move(pass));
+        return pm.run(module.get());
+    }
+
+    ir::Context ctx;
+    ir::OwningOpRef module;
+    std::unique_ptr<ir::OpBuilder> b;
+};
+
+TEST_F(PassTest, ConvertLinalgToAffineLowersConv)
+{
+    auto mem = b->create<equeue::CreateMemOp>(
+        std::string("SRAM"), std::vector<int64_t>{4096}, 32u, 4u);
+    auto ifm = b->create<equeue::AllocOp>(
+        mem->result(0), std::vector<int64_t>{1, 4, 4}, 32u);
+    auto wgt = b->create<equeue::AllocOp>(
+        mem->result(0), std::vector<int64_t>{2, 1, 2, 2}, 32u);
+    auto ofm = b->create<equeue::AllocOp>(
+        mem->result(0), std::vector<int64_t>{2, 3, 3}, 32u);
+    b->create<linalg::ConvOp>(ifm->result(0), wgt->result(0),
+                              ofm->result(0));
+
+    ASSERT_EQ(run(std::make_unique<ConvertLinalgToAffinePass>()), "");
+    EXPECT_EQ(countOps("linalg.conv"), 0);
+    EXPECT_EQ(countOps("affine.for"), 6);
+    EXPECT_EQ(countOps("affine.load"), 3);
+    EXPECT_EQ(countOps("affine.store"), 1);
+    EXPECT_EQ(module->verify(), "");
+}
+
+TEST_F(PassTest, EQueueReadWriteConvertsBufferAccesses)
+{
+    auto mem = b->create<equeue::CreateMemOp>(
+        std::string("SRAM"), std::vector<int64_t>{64}, 32u, 4u);
+    auto buf = b->create<equeue::AllocOp>(mem->result(0),
+                                          std::vector<int64_t>{8}, 32u);
+    auto loop = b->create<affine::ForOp>(int64_t{0}, int64_t{8}, int64_t{1});
+    {
+        ir::OpBuilder::InsertionGuard g(*b);
+        affine::ForOp f(loop.op());
+        b->setInsertionPointToEnd(&f.body());
+        auto v = b->create<affine::LoadOp>(
+            buf->result(0), std::vector<ir::Value>{f.inductionVar()});
+        b->create<affine::StoreOp>(
+            v->result(0), buf->result(0),
+            std::vector<ir::Value>{f.inductionVar()});
+        b->create<affine::YieldOp>(std::vector<ir::Value>{});
+    }
+    ASSERT_EQ(run(std::make_unique<EQueueReadWritePass>()), "");
+    EXPECT_EQ(countOps("affine.load"), 0);
+    EXPECT_EQ(countOps("affine.store"), 0);
+    EXPECT_EQ(countOps("equeue.read"), 1);
+    EXPECT_EQ(countOps("equeue.write"), 1);
+    EXPECT_EQ(module->verify(), "");
+}
+
+TEST_F(PassTest, AllocateMemoryCreatesTaggedBuffer)
+{
+    ASSERT_EQ(run(std::make_unique<AllocateMemoryPass>(
+                  "Register", std::vector<int64_t>{1}, 32u, 1u, "acc")),
+              "");
+    ir::Operation *alloc = findByTag(module.get(), "acc");
+    ASSERT_NE(alloc, nullptr);
+    EXPECT_EQ(alloc->name(), "equeue.alloc");
+    EXPECT_TRUE(alloc->result(0).type().isBuffer());
+    EXPECT_EQ(module->verify(), "");
+}
+
+TEST_F(PassTest, ReassignBufferRedirectsUses)
+{
+    auto mem = b->create<equeue::CreateMemOp>(
+        std::string("SRAM"), std::vector<int64_t>{64}, 32u, 4u);
+    auto big = b->create<equeue::AllocOp>(
+        mem->result(0), std::vector<int64_t>{4, 4}, 32u);
+    big->setAttr(kTagAttr, ir::Attribute::string("from"));
+    auto idx = b->create<arith::ConstantOp>(int64_t{1}, ctx.indexType());
+    auto rd = b->create<equeue::ReadOp>(
+        big->result(0), ir::Value(),
+        std::vector<ir::Value>{idx->result(0), idx->result(0)});
+    b->create<equeue::WriteOp>(
+        rd->result(0), big->result(0), ir::Value(),
+        std::vector<ir::Value>{idx->result(0), idx->result(0)});
+
+    ASSERT_EQ(run(std::make_unique<AllocateMemoryPass>(
+                  "Register", std::vector<int64_t>{1}, 32u, 1u, "to")),
+              "");
+    ASSERT_EQ(run(std::make_unique<ReassignBufferPass>("from", "to")), "");
+    EXPECT_EQ(big->result(0).numUses(), 0u);
+    EXPECT_EQ(module->verify(), "");
+    // All reads/writes now target the register buffer.
+    module->walk([&](ir::Operation *op) {
+        if (op->name() == equeue::ReadOp::opName)
+            EXPECT_EQ(equeue::ReadOp(op).buffer().type().shape(),
+                      (std::vector<int64_t>{1}));
+    });
+}
+
+TEST_F(PassTest, MemcpyToLaunchPreservesEvent)
+{
+    auto mem = b->create<equeue::CreateMemOp>(
+        std::string("SRAM"), std::vector<int64_t>{64}, 32u, 4u);
+    auto b0 = b->create<equeue::AllocOp>(mem->result(0),
+                                         std::vector<int64_t>{8}, 32u);
+    auto b1 = b->create<equeue::AllocOp>(mem->result(0),
+                                         std::vector<int64_t>{8}, 32u);
+    auto dma = b->create<equeue::CreateDmaOp>();
+    auto start = b->create<equeue::ControlStartOp>();
+    auto mc = b->create<equeue::MemcpyOp>(start->result(0), b0->result(0),
+                                          b1->result(0), dma->result(0),
+                                          ir::Value());
+    b->create<equeue::AwaitOp>(std::vector<ir::Value>{mc->result(0)});
+
+    ASSERT_EQ(run(std::make_unique<MemcpyToLaunchPass>()), "");
+    EXPECT_EQ(countOps("equeue.memcpy"), 0);
+    EXPECT_EQ(countOps("equeue.launch"), 1);
+    EXPECT_EQ(countOps("equeue.read"), 1);
+    EXPECT_EQ(countOps("equeue.write"), 1);
+    EXPECT_EQ(module->verify(), "");
+    // And the converted module still simulates.
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    EXPECT_GT(rep.eventsExecuted, 0u);
+}
+
+TEST_F(PassTest, MergeMemcpyLaunchFoldsCopyIntoBody)
+{
+    auto mem = b->create<equeue::CreateMemOp>(
+        std::string("SRAM"), std::vector<int64_t>{64}, 32u, 4u);
+    auto src = b->create<equeue::AllocOp>(mem->result(0),
+                                          std::vector<int64_t>{8}, 32u);
+    auto dst = b->create<equeue::AllocOp>(mem->result(0),
+                                          std::vector<int64_t>{8}, 32u);
+    auto dma = b->create<equeue::CreateDmaOp>();
+    auto proc = b->create<equeue::CreateProcOp>(std::string("MAC"));
+    auto start = b->create<equeue::ControlStartOp>();
+    auto mc = b->create<equeue::MemcpyOp>(start->result(0), src->result(0),
+                                          dst->result(0), dma->result(0),
+                                          ir::Value());
+    auto launch = b->create<equeue::LaunchOp>(
+        std::vector<ir::Value>{mc->result(0)}, proc->result(0),
+        std::vector<ir::Value>{dst->result(0)}, std::vector<ir::Type>{});
+    {
+        ir::OpBuilder::InsertionGuard g(*b);
+        equeue::LaunchOp l(launch.op());
+        b->setInsertionPointToEnd(&l.body());
+        b->create<equeue::ReadOp>(l.body().argument(0), ir::Value(),
+                                  std::vector<ir::Value>{});
+        b->create<equeue::ReturnOp>(std::vector<ir::Value>{});
+    }
+    b->create<equeue::AwaitOp>(std::vector<ir::Value>{launch->result(0)});
+
+    ASSERT_EQ(run(std::make_unique<MergeMemcpyLaunchPass>()), "");
+    EXPECT_EQ(countOps("equeue.memcpy"), 0);
+    // The launch body gained the read+write pair at its head.
+    EXPECT_EQ(countOps("equeue.read"), 2);
+    EXPECT_EQ(countOps("equeue.write"), 1);
+    // The launch now waits on the copy's original dependency.
+    EXPECT_EQ(launch->operand(0), start->result(0));
+    EXPECT_EQ(module->verify(), "");
+}
+
+TEST_F(PassTest, SplitLaunchChainsSegments)
+{
+    auto proc = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto start = b->create<equeue::ControlStartOp>();
+    auto launch = b->create<equeue::LaunchOp>(
+        std::vector<ir::Value>{start->result(0)}, proc->result(0),
+        std::vector<ir::Value>{}, std::vector<ir::Type>{});
+    {
+        ir::OpBuilder::InsertionGuard g(*b);
+        equeue::LaunchOp l(launch.op());
+        b->setInsertionPointToEnd(&l.body());
+        auto c1 = b->create<arith::ConstantOp>(int64_t{2}, ctx.i32Type());
+        auto v1 = b->create<arith::AddIOp>(c1->result(0), c1->result(0));
+        // Second segment begins here and uses v1 (crosses the split).
+        auto v2 = b->create<arith::MulIOp>(v1->result(0), v1->result(0));
+        v2->setAttr("eq.split", ir::Attribute::unit());
+        b->create<equeue::ReturnOp>(std::vector<ir::Value>{});
+    }
+    b->create<equeue::AwaitOp>(std::vector<ir::Value>{launch->result(0)});
+
+    ASSERT_EQ(run(std::make_unique<SplitLaunchPass>()), "");
+    EXPECT_EQ(countOps("equeue.launch"), 2);
+    EXPECT_EQ(module->verify(), "");
+    // Crossing value flows through the first launch's results: the first
+    // launch returns one value.
+    int launches_with_two_results = 0;
+    module->walk([&](ir::Operation *op) {
+        if (op->name() == equeue::LaunchOp::opName &&
+            op->numResults() == 2)
+            ++launches_with_two_results;
+    });
+    EXPECT_EQ(launches_with_two_results, 1);
+    // Still simulates: addi then muli on the same core = 2 cycles.
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    EXPECT_EQ(rep.cycles, 2u);
+}
+
+TEST_F(PassTest, ParallelToEQueueUnrollsOntoPeArray)
+{
+    // 2x2 PE array inside a component.
+    auto comp = b->create<equeue::CreateCompOp>(std::string(""),
+                                                std::vector<ir::Value>{});
+    comp->setAttr("names", ir::Attribute::string(""));
+    std::vector<ir::Value> pes;
+    for (int h = 0; h < 2; ++h) {
+        for (int w = 0; w < 2; ++w) {
+            auto pe = b->create<equeue::CreateProcOp>(std::string("MAC"));
+            b->create<equeue::AddCompOp>(
+                comp->result(0),
+                "PE_" + std::to_string(h) + "_" + std::to_string(w),
+                std::vector<ir::Value>{pe->result(0)});
+            pes.push_back(pe->result(0));
+        }
+    }
+    auto par = b->create<affine::ParallelOp>(std::vector<int64_t>{0, 0},
+                                             std::vector<int64_t>{2, 2},
+                                             std::vector<int64_t>{});
+    par->setAttr("eq.proc_prefix", ir::Attribute::string("PE_"));
+    par->appendOperand(comp->result(0));
+    {
+        ir::OpBuilder::InsertionGuard g(*b);
+        affine::ParallelOp p(par.op());
+        b->setInsertionPointToEnd(&p.body());
+        b->create<arith::AddIOp>(p.body().argument(0),
+                                 p.body().argument(1));
+        b->create<affine::YieldOp>(std::vector<ir::Value>{});
+    }
+
+    ASSERT_EQ(run(std::make_unique<ParallelToEQueuePass>()), "");
+    EXPECT_EQ(countOps("affine.parallel"), 0);
+    EXPECT_EQ(countOps("equeue.launch"), 4);
+    EXPECT_EQ(countOps("equeue.extract_comp"), 4);
+    EXPECT_EQ(countOps("equeue.control_and"), 3);
+    EXPECT_EQ(countOps("equeue.await"), 1);
+
+    ASSERT_EQ(run(std::make_unique<LowerExtractionPass>()), "");
+    EXPECT_EQ(countOps("equeue.extract_comp"), 0);
+    EXPECT_EQ(countOps("equeue.get_comp"), 4);
+    EXPECT_EQ(module->verify(), "");
+
+    // The converted module simulates: 4 parallel 1-cycle launches.
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    EXPECT_EQ(rep.cycles, 1u);
+}
+
+TEST_F(PassTest, CoalesceLoopsFusesPerfectNest)
+{
+    auto mem = b->create<equeue::CreateMemOp>(
+        std::string("SRAM"), std::vector<int64_t>{64}, 32u, 4u);
+    auto buf = b->create<equeue::AllocOp>(
+        mem->result(0), std::vector<int64_t>{3, 4}, 32u);
+    auto outer = b->create<affine::ForOp>(int64_t{0}, int64_t{3},
+                                          int64_t{1});
+    outer->setAttr("eq.coalesce", ir::Attribute::unit());
+    {
+        ir::OpBuilder::InsertionGuard g(*b);
+        affine::ForOp fo(outer.op());
+        b->setInsertionPointToEnd(&fo.body());
+        auto inner = b->create<affine::ForOp>(int64_t{0}, int64_t{4},
+                                              int64_t{1});
+        {
+            ir::OpBuilder::InsertionGuard g2(*b);
+            affine::ForOp fi(inner.op());
+            b->setInsertionPointToEnd(&fi.body());
+            auto v = b->create<arith::AddIOp>(fo.inductionVar(),
+                                              fi.inductionVar());
+            b->create<equeue::WriteOp>(
+                v->result(0), buf->result(0), ir::Value(),
+                std::vector<ir::Value>{fo.inductionVar(),
+                                       fi.inductionVar()});
+            b->create<affine::YieldOp>(std::vector<ir::Value>{});
+        }
+        b->create<affine::YieldOp>(std::vector<ir::Value>{});
+    }
+
+    ASSERT_EQ(run(std::make_unique<CoalesceLoopsPass>()), "");
+    EXPECT_EQ(countOps("affine.for"), 1);
+    EXPECT_EQ(countOps("arith.divsi"), 1);
+    EXPECT_EQ(countOps("arith.remsi"), 1);
+    EXPECT_EQ(module->verify(), "");
+
+    // Functional check through the engine: every (i,j) written once.
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    ASSERT_EQ(rep.memories.size(), 1u);
+    EXPECT_EQ(rep.memories[0].bytesWritten, 3 * 4 * 4);
+}
+
+} // namespace

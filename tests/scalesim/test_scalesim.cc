@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit and property tests for the SCALE-Sim analytic baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scalesim/scalesim.hh"
+
+namespace {
+
+using namespace eq::scalesim;
+
+TEST(ScaleSimTest, DimensionMappingPerDataflow)
+{
+    Config cfg;
+    cfg.c = 3;
+    cfg.h = cfg.w = 8;
+    cfg.n = 4;
+    cfg.fh = cfg.fw = 2;
+
+    cfg.dataflow = Dataflow::WS;
+    EXPECT_EQ(cfg.d1(), 2 * 2 * 3);
+    EXPECT_EQ(cfg.d2(), 4);
+    EXPECT_EQ(cfg.streamLength(), 7 * 7);
+
+    cfg.dataflow = Dataflow::IS;
+    EXPECT_EQ(cfg.d1(), 12);
+    EXPECT_EQ(cfg.d2(), 49);
+    EXPECT_EQ(cfg.streamLength(), 4);
+
+    cfg.dataflow = Dataflow::OS;
+    EXPECT_EQ(cfg.d1(), 4);
+    EXPECT_EQ(cfg.d2(), 12);
+    EXPECT_EQ(cfg.streamLength(), 49);
+}
+
+TEST(ScaleSimTest, SingleFoldCycleFormula)
+{
+    // D1=4 <= Ah, D2=4 <= Aw: one fold.
+    Config cfg;
+    cfg.ah = cfg.aw = 4;
+    cfg.c = 1;
+    cfg.h = cfg.w = 5;
+    cfg.n = 4;
+    cfg.fh = cfg.fw = 2; // K = 4, N = 4; Eh=Ew=4, T=16
+    cfg.dataflow = Dataflow::WS;
+    auto r = simulate(cfg);
+    EXPECT_EQ(r.folds, 1u);
+    // preload ceil(4*4/4)=4, T=16, skew=6.
+    EXPECT_EQ(r.cycles, 4u + 16u + 6u);
+    EXPECT_EQ(r.sramOfmapWriteBytes, 16 * 4 * 4); // T x c_eff x 4B
+    EXPECT_EQ(r.sramIfmapReadBytes, 16 * 4 * 4);
+    EXPECT_EQ(r.sramWeightReadBytes, 16 * 4);
+}
+
+TEST(ScaleSimTest, FoldsGrowWithStationarySpace)
+{
+    Config small, big;
+    small.ah = big.ah = 4;
+    small.aw = big.aw = 4;
+    small.c = 3;
+    small.h = small.w = 16;
+    small.n = 1;
+    small.fh = small.fw = 2;
+    big = small;
+    big.fh = big.fw = 8;
+    auto rs = simulate(small);
+    auto rb = simulate(big);
+    EXPECT_LT(rs.folds, rb.folds);
+    EXPECT_LT(rs.cycles, rb.cycles);
+}
+
+TEST(ScaleSimTest, OsSkipsPreload)
+{
+    Config cfg;
+    cfg.ah = cfg.aw = 4;
+    cfg.c = 1;
+    cfg.h = cfg.w = 5;
+    cfg.n = 4;
+    cfg.fh = cfg.fw = 2;
+    cfg.dataflow = Dataflow::OS;
+    auto r = simulate(cfg);
+    // one fold: N=4 rows, K=4 cols, T=16, no preload.
+    EXPECT_EQ(r.folds, 1u);
+    EXPECT_EQ(r.cycles, 16u + 6u);
+}
+
+class ScaleSimSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ScaleSimSweep, InvariantsHoldAcrossConfigs)
+{
+    auto [ah, hw, f, n] = GetParam();
+    for (Dataflow df : {Dataflow::WS, Dataflow::IS, Dataflow::OS}) {
+        Config cfg;
+        cfg.ah = ah;
+        cfg.aw = 64 / ah;
+        cfg.c = 2;
+        cfg.h = cfg.w = hw;
+        cfg.n = n;
+        cfg.fh = cfg.fw = f;
+        if (cfg.h < cfg.fh)
+            continue;
+        auto r = simulate(cfg);
+        // Fold law (paper Fig. 12c-e).
+        uint64_t expect_folds =
+            ((cfg.d1() + ah - 1) / ah) *
+            ((cfg.d2() + cfg.aw - 1) / cfg.aw);
+        EXPECT_EQ(r.folds, expect_folds);
+        // Cycles exceed pure streaming time and stay sane.
+        EXPECT_GE(r.cycles,
+                  r.folds * uint64_t(cfg.streamLength()));
+        EXPECT_GT(r.cycles, 0u);
+        // Bandwidths are nonnegative and bounded by array width.
+        EXPECT_GE(r.avgOfmapWriteBw, 0.0);
+        EXPECT_LE(r.avgOfmapWriteBw, 64.0 * cfg.elemBytes);
+        // All ofmap traffic is a multiple of the element size.
+        EXPECT_EQ(r.sramOfmapWriteBytes % cfg.elemBytes, 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScaleSimSweep,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16, 32),
+                       ::testing::Values(4, 8, 16),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(1, 4, 16)));
+
+} // namespace

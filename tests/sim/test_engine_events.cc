@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Event semantics tests: queue FIFO order, dependency gating,
+ * control_and/or combinators, concurrency across processors, awaits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dialects/arith.hh"
+#include "dialects/equeue.hh"
+#include "ir/builder.hh"
+#include "sim/engine.hh"
+
+namespace {
+
+using namespace eq;
+
+class EngineEventTest : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        ir::registerAllDialects(ctx);
+        module = ir::createModule(ctx);
+        b = std::make_unique<ir::OpBuilder>(ctx);
+        b->setInsertionPointToEnd(&module->region(0).front());
+    }
+
+    /** Launch a block of @p busy_cycles 1-cycle ops on @p proc. */
+    ir::Operation *
+    busyLaunch(ir::Value dep, ir::Value proc, int busy_cycles)
+    {
+        auto launch = b->create<equeue::LaunchOp>(
+            std::vector<ir::Value>{dep}, proc, std::vector<ir::Value>{},
+            std::vector<ir::Type>{});
+        ir::OpBuilder::InsertionGuard g(*b);
+        equeue::LaunchOp l(launch.op());
+        b->setInsertionPointToEnd(&l.body());
+        auto c = b->create<arith::ConstantOp>(int64_t{1}, ctx.i32Type());
+        ir::Value acc = c->result(0);
+        for (int i = 0; i < busy_cycles; ++i)
+            acc = b->create<arith::AddIOp>(acc, c->result(0))->result(0);
+        b->create<equeue::ReturnOp>(std::vector<ir::Value>{});
+        return launch.op();
+    }
+
+    ir::Context ctx;
+    ir::OwningOpRef module;
+    std::unique_ptr<ir::OpBuilder> b;
+};
+
+TEST_F(EngineEventTest, IndependentProcessorsRunConcurrently)
+{
+    auto p0 = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto p1 = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto start = b->create<equeue::ControlStartOp>();
+    auto *l0 = busyLaunch(start->result(0), p0->result(0), 10);
+    auto *l1 = busyLaunch(start->result(0), p1->result(0), 10);
+    b->create<equeue::AwaitOp>(
+        std::vector<ir::Value>{l0->result(0), l1->result(0)});
+
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    EXPECT_EQ(rep.cycles, 10u); // parallel, not 20
+}
+
+TEST_F(EngineEventTest, SameProcessorSerializesFifo)
+{
+    auto p0 = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto start = b->create<equeue::ControlStartOp>();
+    auto *l0 = busyLaunch(start->result(0), p0->result(0), 10);
+    auto *l1 = busyLaunch(start->result(0), p0->result(0), 10);
+    b->create<equeue::AwaitOp>(
+        std::vector<ir::Value>{l0->result(0), l1->result(0)});
+
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    EXPECT_EQ(rep.cycles, 20u); // one event at a time per processor
+}
+
+TEST_F(EngineEventTest, DependencyChainsSequence)
+{
+    auto p0 = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto p1 = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto start = b->create<equeue::ControlStartOp>();
+    auto *l0 = busyLaunch(start->result(0), p0->result(0), 7);
+    // l1 runs on a different processor but must wait for l0.
+    auto *l1 = busyLaunch(l0->result(0), p1->result(0), 5);
+    b->create<equeue::AwaitOp>(std::vector<ir::Value>{l1->result(0)});
+
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    EXPECT_EQ(rep.cycles, 12u);
+}
+
+TEST_F(EngineEventTest, ControlAndWaitsForAll)
+{
+    auto p0 = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto p1 = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto p2 = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto start = b->create<equeue::ControlStartOp>();
+    auto *l0 = busyLaunch(start->result(0), p0->result(0), 3);
+    auto *l1 = busyLaunch(start->result(0), p1->result(0), 9);
+    auto both = b->create<equeue::ControlAndOp>(
+        std::vector<ir::Value>{l0->result(0), l1->result(0)});
+    auto *l2 = busyLaunch(both->result(0), p2->result(0), 1);
+    b->create<equeue::AwaitOp>(std::vector<ir::Value>{l2->result(0)});
+
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    EXPECT_EQ(rep.cycles, 10u); // max(3,9) + 1
+}
+
+TEST_F(EngineEventTest, ControlOrFiresOnFirst)
+{
+    auto p0 = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto p1 = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto p2 = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto start = b->create<equeue::ControlStartOp>();
+    auto *l0 = busyLaunch(start->result(0), p0->result(0), 3);
+    auto *l1 = busyLaunch(start->result(0), p1->result(0), 9);
+    auto any = b->create<equeue::ControlOrOp>(
+        std::vector<ir::Value>{l0->result(0), l1->result(0)});
+    auto *l2 = busyLaunch(any->result(0), p2->result(0), 1);
+    b->create<equeue::AwaitOp>(
+        std::vector<ir::Value>{l2->result(0), l1->result(0)});
+
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    // l2 starts at min(3,9)=3, ends at 4; overall end = max(4, 9) = 9.
+    EXPECT_EQ(rep.cycles, 9u);
+}
+
+TEST_F(EngineEventTest, NestedLaunchesSpawnFromInnerBlocks)
+{
+    auto host = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto pe = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto start = b->create<equeue::ControlStartOp>();
+    auto outer = b->create<equeue::LaunchOp>(
+        std::vector<ir::Value>{start->result(0)}, host->result(0),
+        std::vector<ir::Value>{pe->result(0)}, std::vector<ir::Type>{});
+    {
+        ir::OpBuilder::InsertionGuard g(*b);
+        equeue::LaunchOp l(outer.op());
+        b->setInsertionPointToEnd(&l.body());
+        auto inner_start = b->create<equeue::ControlStartOp>();
+        auto inner = b->create<equeue::LaunchOp>(
+            std::vector<ir::Value>{inner_start->result(0)},
+            l.body().argument(0), std::vector<ir::Value>{},
+            std::vector<ir::Type>{});
+        {
+            ir::OpBuilder::InsertionGuard g2(*b);
+            equeue::LaunchOp li(inner.op());
+            b->setInsertionPointToEnd(&li.body());
+            auto c =
+                b->create<arith::ConstantOp>(int64_t{1}, ctx.i32Type());
+            b->create<arith::AddIOp>(c->result(0), c->result(0));
+            b->create<equeue::ReturnOp>(std::vector<ir::Value>{});
+        }
+        b->create<equeue::AwaitOp>(
+            std::vector<ir::Value>{inner->result(0)});
+        b->create<equeue::ReturnOp>(std::vector<ir::Value>{});
+    }
+    b->create<equeue::AwaitOp>(std::vector<ir::Value>{outer->result(0)});
+
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    EXPECT_EQ(rep.cycles, 1u);
+    EXPECT_EQ(rep.eventsExecuted, 4u);
+}
+
+TEST_F(EngineEventTest, AwaitWithNoOperandsWaitsForAllSpawned)
+{
+    auto host = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto p0 = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto p1 = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto start = b->create<equeue::ControlStartOp>();
+    auto outer = b->create<equeue::LaunchOp>(
+        std::vector<ir::Value>{start->result(0)}, host->result(0),
+        std::vector<ir::Value>{p0->result(0), p1->result(0)},
+        std::vector<ir::Type>{});
+    {
+        ir::OpBuilder::InsertionGuard g(*b);
+        equeue::LaunchOp l(outer.op());
+        b->setInsertionPointToEnd(&l.body());
+        auto s0 = b->create<equeue::ControlStartOp>();
+        // Two child launches with different latencies; bare await() must
+        // wait for both.
+        for (int k = 0; k < 2; ++k) {
+            auto lp = b->create<equeue::LaunchOp>(
+                std::vector<ir::Value>{s0->result(0)},
+                l.body().argument(k), std::vector<ir::Value>{},
+                std::vector<ir::Type>{});
+            ir::OpBuilder::InsertionGuard g2(*b);
+            equeue::LaunchOp li(lp.op());
+            b->setInsertionPointToEnd(&li.body());
+            auto c =
+                b->create<arith::ConstantOp>(int64_t{1}, ctx.i32Type());
+            ir::Value acc = c->result(0);
+            for (int i = 0; i < (k + 1) * 4; ++i)
+                acc = b->create<arith::AddIOp>(acc, c->result(0))
+                          ->result(0);
+            b->create<equeue::ReturnOp>(std::vector<ir::Value>{});
+        }
+        b->create<equeue::AwaitOp>(std::vector<ir::Value>{});
+        b->create<equeue::ReturnOp>(std::vector<ir::Value>{});
+    }
+    b->create<equeue::AwaitOp>(std::vector<ir::Value>{outer->result(0)});
+
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    EXPECT_EQ(rep.cycles, 8u); // the slower child (8 addi)
+}
+
+TEST_F(EngineEventTest, HeadOfLineBlockingHoldsQueue)
+{
+    // Queue two launches on the same proc; the first has a slow dep, the
+    // second is ready immediately but must wait behind the head (Fig 5).
+    auto slow = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto target = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto start = b->create<equeue::ControlStartOp>();
+    auto *gate = busyLaunch(start->result(0), slow->result(0), 6);
+    auto *first = busyLaunch(gate->result(0), target->result(0), 1);
+    auto *second = busyLaunch(start->result(0), target->result(0), 1);
+    b->create<equeue::AwaitOp>(
+        std::vector<ir::Value>{first->result(0), second->result(0)});
+
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    // head waits for gate (6), runs 1 cycle, then second runs: 8 total.
+    EXPECT_EQ(rep.cycles, 8u);
+}
+
+} // namespace

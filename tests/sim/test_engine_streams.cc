@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Stream FIFO tests: blocking reads, producer-shaped arrival under
+ * bandwidth constraints, pipeline initiation intervals, custom op
+ * functions (mul4/mac4 semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dialects/arith.hh"
+#include "dialects/equeue.hh"
+#include "ir/builder.hh"
+#include "sim/engine.hh"
+
+namespace {
+
+using namespace eq;
+
+class EngineStreamTest : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        ir::registerAllDialects(ctx);
+        module = ir::createModule(ctx);
+        b = std::make_unique<ir::OpBuilder>(ctx);
+        b->setInsertionPointToEnd(&module->region(0).front());
+    }
+
+    ir::Context ctx;
+    ir::OwningOpRef module;
+    std::unique_ptr<ir::OpBuilder> b;
+};
+
+TEST_F(EngineStreamTest, TwoStagePipelineThroughStream)
+{
+    // Producer pushes 8 scalars (1 cycle of compute each); the consumer
+    // blocks on the stream and adds 1 to each.
+    auto stream = b->create<equeue::CreateStreamOp>(32u);
+    auto prod = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto cons = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto start = b->create<equeue::ControlStartOp>();
+
+    auto pl = b->create<equeue::LaunchOp>(
+        std::vector<ir::Value>{start->result(0)}, prod->result(0),
+        std::vector<ir::Value>{stream->result(0)},
+        std::vector<ir::Type>{});
+    {
+        ir::OpBuilder::InsertionGuard g(*b);
+        equeue::LaunchOp l(pl.op());
+        b->setInsertionPointToEnd(&l.body());
+        auto one = b->create<arith::ConstantOp>(int64_t{1}, ctx.i32Type());
+        ir::Value acc = one->result(0);
+        for (int i = 0; i < 8; ++i) {
+            acc = b->create<arith::AddIOp>(acc, one->result(0))
+                      ->result(0); // 1 cycle of "work"
+            b->create<equeue::StreamWriteOp>(acc, l.body().argument(0),
+                                             ir::Value());
+        }
+        b->create<equeue::ReturnOp>(std::vector<ir::Value>{});
+    }
+
+    auto cl = b->create<equeue::LaunchOp>(
+        std::vector<ir::Value>{start->result(0)}, cons->result(0),
+        std::vector<ir::Value>{stream->result(0)},
+        std::vector<ir::Type>{});
+    {
+        ir::OpBuilder::InsertionGuard g(*b);
+        equeue::LaunchOp l(cl.op());
+        b->setInsertionPointToEnd(&l.body());
+        for (int i = 0; i < 8; ++i) {
+            auto v = b->create<equeue::StreamReadOp>(
+                l.body().argument(0), int64_t{1}, 32u, ir::Value());
+            (void)v;
+        }
+        b->create<equeue::ReturnOp>(std::vector<ir::Value>{});
+    }
+    b->create<equeue::AwaitOp>(
+        std::vector<ir::Value>{pl->result(0), cl->result(0)});
+
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    // Producer: addi (1) + stream_write (1) per element on a scalar core
+    // = 16 cycles for 8 elements. The consumer's blocking reads chase the
+    // producer and finish within a cycle of the last push.
+    EXPECT_GE(rep.cycles, 16u);
+    EXPECT_LE(rep.cycles, 17u);
+}
+
+TEST_F(EngineStreamTest, ConnectionShapesArrivalRate)
+{
+    // Writer pushes a 4-element tensor (16 B) through a 4 B/cyc
+    // connection: elements become visible 4 cycles later.
+    auto stream = b->create<equeue::CreateStreamOp>(32u);
+    auto conn = b->create<equeue::CreateConnectionOp>(
+        std::string("Streaming"), int64_t{4});
+    auto mem = b->create<equeue::CreateMemOp>(
+        std::string("Register"), std::vector<int64_t>{4}, 32u, 1u);
+    auto buf = b->create<equeue::AllocOp>(mem->result(0),
+                                          std::vector<int64_t>{4}, 32u);
+    auto prod = b->create<equeue::CreateProcOp>(std::string("AIEngine"));
+    auto cons = b->create<equeue::CreateProcOp>(std::string("AIEngine"));
+    auto start = b->create<equeue::ControlStartOp>();
+
+    auto pl = b->create<equeue::LaunchOp>(
+        std::vector<ir::Value>{start->result(0)}, prod->result(0),
+        std::vector<ir::Value>{stream->result(0), buf->result(0),
+                               conn->result(0)},
+        std::vector<ir::Type>{});
+    {
+        ir::OpBuilder::InsertionGuard g(*b);
+        equeue::LaunchOp l(pl.op());
+        b->setInsertionPointToEnd(&l.body());
+        auto data = b->create<equeue::ReadOp>(
+            l.body().argument(1), ir::Value(), std::vector<ir::Value>{});
+        b->create<equeue::StreamWriteOp>(data->result(0),
+                                         l.body().argument(0),
+                                         l.body().argument(2));
+        b->create<equeue::ReturnOp>(std::vector<ir::Value>{});
+    }
+
+    auto cl = b->create<equeue::LaunchOp>(
+        std::vector<ir::Value>{start->result(0)}, cons->result(0),
+        std::vector<ir::Value>{stream->result(0)},
+        std::vector<ir::Type>{});
+    {
+        ir::OpBuilder::InsertionGuard g(*b);
+        equeue::LaunchOp l(cl.op());
+        b->setInsertionPointToEnd(&l.body());
+        b->create<equeue::StreamReadOp>(l.body().argument(0), int64_t{4},
+                                        32u, ir::Value());
+        b->create<equeue::ReturnOp>(std::vector<ir::Value>{});
+    }
+    b->create<equeue::AwaitOp>(
+        std::vector<ir::Value>{pl->result(0), cl->result(0)});
+
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    // 16 bytes at 4 B/cyc = available at cycle 4.
+    EXPECT_EQ(rep.cycles, 4u);
+    ASSERT_EQ(rep.connections.size(), 1u);
+    EXPECT_EQ(rep.connections[0].writeBytes, 16);
+}
+
+TEST_F(EngineStreamTest, BackToBackWritesSerializeOnChannel)
+{
+    // Two 16-byte stream writes through one 4 B/cyc connection: the
+    // second transfer starts only when the channel frees (II = 4).
+    auto stream = b->create<equeue::CreateStreamOp>(32u);
+    auto conn = b->create<equeue::CreateConnectionOp>(
+        std::string("Streaming"), int64_t{4});
+    auto mem = b->create<equeue::CreateMemOp>(
+        std::string("Register"), std::vector<int64_t>{4}, 32u, 1u);
+    auto buf = b->create<equeue::AllocOp>(mem->result(0),
+                                          std::vector<int64_t>{4}, 32u);
+    auto prod = b->create<equeue::CreateProcOp>(std::string("AIEngine"));
+    auto start = b->create<equeue::ControlStartOp>();
+
+    auto pl = b->create<equeue::LaunchOp>(
+        std::vector<ir::Value>{start->result(0)}, prod->result(0),
+        std::vector<ir::Value>{stream->result(0), buf->result(0),
+                               conn->result(0)},
+        std::vector<ir::Type>{});
+    {
+        ir::OpBuilder::InsertionGuard g(*b);
+        equeue::LaunchOp l(pl.op());
+        b->setInsertionPointToEnd(&l.body());
+        auto data = b->create<equeue::ReadOp>(
+            l.body().argument(1), ir::Value(), std::vector<ir::Value>{});
+        b->create<equeue::StreamWriteOp>(data->result(0),
+                                         l.body().argument(0),
+                                         l.body().argument(2));
+        b->create<equeue::StreamWriteOp>(data->result(0),
+                                         l.body().argument(0),
+                                         l.body().argument(2));
+        b->create<equeue::ReturnOp>(std::vector<ir::Value>{});
+    }
+    b->create<equeue::AwaitOp>(std::vector<ir::Value>{pl->result(0)});
+
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    // Second transfer occupies [4,8): all data visible at 8.
+    EXPECT_EQ(rep.cycles, 8u);
+}
+
+TEST_F(EngineStreamTest, Mul4Mac4OpFunctionsComputeFir)
+{
+    // One AI Engine core computes 4 FIR outputs over 4 taps using
+    // mul4 + mac4 with tap offsets (functional check of the op library).
+    auto reg = b->create<equeue::CreateMemOp>(
+        std::string("Register"), std::vector<int64_t>{16}, 32u, 1u);
+    auto ifm = b->create<equeue::AllocOp>(reg->result(0),
+                                          std::vector<int64_t>{8}, 32u);
+    auto flt = b->create<equeue::AllocOp>(reg->result(0),
+                                          std::vector<int64_t>{4}, 32u);
+    auto ofm = b->create<equeue::AllocOp>(reg->result(0),
+                                          std::vector<int64_t>{4}, 32u);
+    auto core = b->create<equeue::CreateProcOp>(std::string("AIEngine"));
+    auto start = b->create<equeue::ControlStartOp>();
+
+    auto lp = b->create<equeue::LaunchOp>(
+        std::vector<ir::Value>{start->result(0)}, core->result(0),
+        std::vector<ir::Value>{ofm->result(0), ifm->result(0),
+                               flt->result(0)},
+        std::vector<ir::Type>{});
+    {
+        ir::OpBuilder::InsertionGuard g(*b);
+        equeue::LaunchOp l(lp.op());
+        b->setInsertionPointToEnd(&l.body());
+        // Seed the input window and filter via indexed writes.
+        for (int i = 0; i < 8; ++i) {
+            auto idx =
+                b->create<arith::ConstantOp>(int64_t{i}, ctx.indexType());
+            auto val = b->create<arith::ConstantOp>(int64_t{i + 1},
+                                                    ctx.i32Type());
+            b->create<equeue::WriteOp>(
+                val->result(0), l.body().argument(1), ir::Value(),
+                std::vector<ir::Value>{idx->result(0)});
+        }
+        for (int i = 0; i < 4; ++i) {
+            auto idx =
+                b->create<arith::ConstantOp>(int64_t{i}, ctx.indexType());
+            auto val = b->create<arith::ConstantOp>(int64_t{i + 1},
+                                                    ctx.i32Type());
+            b->create<equeue::WriteOp>(
+                val->result(0), l.body().argument(2), ir::Value(),
+                std::vector<ir::Value>{idx->result(0)});
+        }
+        auto mul = b->create<equeue::ExternOp>(
+            std::string("mul4"),
+            std::vector<ir::Value>{l.body().argument(0),
+                                   l.body().argument(1),
+                                   l.body().argument(2)},
+            std::vector<ir::Type>{});
+        mul->setAttr("offset", ir::Attribute::integer(0));
+        auto mac = b->create<equeue::ExternOp>(
+            std::string("mac4"),
+            std::vector<ir::Value>{l.body().argument(0),
+                                   l.body().argument(1),
+                                   l.body().argument(2)},
+            std::vector<ir::Type>{});
+        mac->setAttr("offset", ir::Attribute::integer(2));
+        auto out = b->create<equeue::ReadOp>(
+            l.body().argument(0), ir::Value(), std::vector<ir::Value>{});
+        b->create<equeue::ReturnOp>(
+            std::vector<ir::Value>{out->result(0)});
+    }
+    b->create<equeue::AwaitOp>(std::vector<ir::Value>{lp->result(0)});
+
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+    // Compute cost: mul4 + mac4 = 2 cycles (reads/writes free on AIE).
+    EXPECT_EQ(rep.cycles, 2u);
+    // Reference: y[l] = sum_k x[l+k]*c[k], x = 1..8, c = 1..4.
+    // y[0] = 1+4+9+16 = 30; y[1] = 2+6+12+20 = 40; y[2] = 50; y[3] = 60.
+    // (Checked through the return value in the FIR integration tests;
+    // here we validate cycle accounting.)
+    EXPECT_EQ(rep.eventsExecuted, 2u);
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Cross-subsystem property tests: simulation determinism, byte
+ * conservation between producers and consumers, and utilization bounds,
+ * swept over systolic and FIR configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aie/fir.hh"
+#include "sim/engine.hh"
+#include "systolic/generator.hh"
+
+namespace {
+
+using namespace eq;
+
+class SystolicPropertySweep
+    : public ::testing::TestWithParam<std::tuple<int, scalesim::Dataflow>> {
+};
+
+TEST_P(SystolicPropertySweep, DeterministicAndConservative)
+{
+    auto [hw, df] = GetParam();
+    scalesim::Config cfg;
+    cfg.ah = 2;
+    cfg.aw = 4;
+    cfg.c = 2;
+    cfg.h = cfg.w = hw;
+    cfg.n = 3;
+    cfg.fh = cfg.fw = 2;
+    cfg.dataflow = df;
+
+    auto run = [&] {
+        ir::Context ctx;
+        ir::registerAllDialects(ctx);
+        auto module = systolic::buildSystolicModule(ctx, cfg);
+        sim::Simulator s;
+        return s.simulate(module.get());
+    };
+    auto r1 = run();
+    auto r2 = run();
+
+    // Determinism: identical reports from identical programs.
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.eventsExecuted, r2.eventsExecuted);
+    EXPECT_EQ(r1.opsExecuted, r2.opsExecuted);
+
+    // Utilization bounds: no processor exceeds 100%.
+    for (const auto &p : r1.processors) {
+        EXPECT_LE(p.utilization, 1.0 + 1e-9) << p.name;
+        EXPECT_GE(p.utilization, 0.0) << p.name;
+    }
+
+    // Byte conservation: total MAC work (1 mac per PE per step) never
+    // exceeds active-PE-count x cycles.
+    uint64_t mac_busy = 0;
+    for (const auto &p : r1.processors)
+        if (p.kind == "MAC")
+            mac_busy += p.busyCycles;
+    EXPECT_LE(mac_busy, uint64_t(cfg.ah) * cfg.aw * r1.cycles);
+
+    // SRAM traffic is element-aligned.
+    for (const auto &m : r1.memories) {
+        EXPECT_EQ(m.bytesRead % 4, 0) << m.name;
+        EXPECT_EQ(m.bytesWritten % 4, 0) << m.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SystolicPropertySweep,
+    ::testing::Combine(::testing::Values(3, 4, 6),
+                       ::testing::Values(scalesim::Dataflow::WS,
+                                         scalesim::Dataflow::IS,
+                                         scalesim::Dataflow::OS)));
+
+class FirPropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FirPropertySweep, StreamsConserveSamples)
+{
+    int cores = GetParam();
+    aie::FirConfig cfg;
+    cfg.cores = cores;
+    cfg.streamBandwidth = 4;
+    cfg.samples = 128;
+    if (cfg.totalOpsPerGroup() % cores != 0)
+        GTEST_SKIP();
+
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = aie::buildFirModule(ctx, cfg);
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+
+    // Every link carries exactly the full series once:
+    // groups x 16 bytes on each inter-core connection.
+    int64_t series_bytes = int64_t(cfg.samples) * 4;
+    for (const auto &c : rep.connections)
+        EXPECT_EQ(c.writeBytes, series_bytes) << c.name;
+
+    // Monotonicity: more cores -> fewer or equal cycles under the same
+    // bandwidth (pipeline depth only helps).
+    EXPECT_EQ(rep.cycles, aie::expectedFirCycles(cfg));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, FirPropertySweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(FirMonotonicity, MoreBandwidthNeverSlows)
+{
+    uint64_t prev = ~0ull;
+    for (int64_t bw : {2, 4, 8, 16}) {
+        aie::FirConfig cfg;
+        cfg.cores = 4;
+        cfg.streamBandwidth = bw;
+        cfg.samples = 128;
+        ir::Context ctx;
+        ir::registerAllDialects(ctx);
+        auto module = aie::buildFirModule(ctx, cfg);
+        sim::Simulator s;
+        uint64_t cycles = s.simulate(module.get()).cycles;
+        EXPECT_LE(cycles, prev) << "bw=" << bw;
+        prev = cycles;
+    }
+}
+
+} // namespace

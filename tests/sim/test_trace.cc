@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Trace output tests: slice recording, JSON schema, file writing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "dialects/arith.hh"
+#include "dialects/equeue.hh"
+#include "ir/builder.hh"
+#include "sim/engine.hh"
+#include "sim/trace.hh"
+
+namespace {
+
+using namespace eq;
+
+TEST(TraceTest, DisabledTraceRecordsNothing)
+{
+    sim::Trace t;
+    t.record({"x", "operation", "p", "t", 0, 1});
+    EXPECT_TRUE(t.events().empty());
+    t.setEnabled(true);
+    t.record({"x", "operation", "p", "t", 0, 1});
+    EXPECT_EQ(t.events().size(), 1u);
+}
+
+TEST(TraceTest, JsonSchemaMatchesTraceEventFormat)
+{
+    sim::Trace t;
+    t.setEnabled(true);
+    t.record({"equeue.read", "operation", "Processor", "ARMr5", 3, 2});
+    std::string json = t.toJson();
+    EXPECT_NE(json.find("\"name\": \"equeue.read\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"operation\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": \"Processor\""), std::string::npos);
+    EXPECT_NE(json.find("\"tid\": \"ARMr5\""), std::string::npos);
+    EXPECT_EQ(json.front(), '[');
+}
+
+TEST(TraceTest, EngineEmitsSlicesForTimedOps)
+{
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = ir::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(&module->region(0).front());
+    auto proc = b.create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto start = b.create<equeue::ControlStartOp>();
+    auto launch = b.create<equeue::LaunchOp>(
+        std::vector<ir::Value>{start->result(0)}, proc->result(0),
+        std::vector<ir::Value>{}, std::vector<ir::Type>{});
+    {
+        ir::OpBuilder::InsertionGuard g(b);
+        equeue::LaunchOp l(launch.op());
+        b.setInsertionPointToEnd(&l.body());
+        auto c = b.create<arith::ConstantOp>(int64_t{1}, ctx.i32Type());
+        b.create<arith::AddIOp>(c->result(0), c->result(0));
+        b.create<arith::MulIOp>(c->result(0), c->result(0));
+        b.create<equeue::ReturnOp>(std::vector<ir::Value>{});
+    }
+    b.create<equeue::AwaitOp>(std::vector<ir::Value>{launch->result(0)});
+
+    sim::EngineOptions opts;
+    opts.enableTrace = true;
+    sim::Simulator s(opts);
+    s.simulate(module.get());
+    ASSERT_EQ(s.trace().events().size(), 2u);
+    EXPECT_EQ(s.trace().events()[0].name, "arith.addi");
+    EXPECT_EQ(s.trace().events()[0].ts, 0u);
+    EXPECT_EQ(s.trace().events()[1].name, "arith.muli");
+    EXPECT_EQ(s.trace().events()[1].ts, 1u);
+}
+
+TEST(TraceTest, WriteFileProducesReadableJson)
+{
+    sim::Trace t;
+    t.setEnabled(true);
+    t.record({"op", "operation", "p", "q", 0, 4});
+    std::string path = ::testing::TempDir() + "eq_trace_test.json";
+    t.writeFile(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("\"dur\": 4"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
