@@ -68,7 +68,8 @@ main(int argc, char **argv)
                     scalesim::dataflowName(df).c_str(),
                     static_cast<unsigned long long>(rep.cycles),
                     static_cast<unsigned long long>(ss.cycles),
-                    static_cast<unsigned long long>(ss.folds), rd, wr,
+                    static_cast<unsigned long long>(ss.folds), static_cast<long long>(rd),
+                    static_cast<long long>(wr),
                     macs ? 100.0 * mac_util / macs : 0.0);
     }
     std::printf("pick the dataflow minimizing ceil(D1/Ah)*ceil(D2/Aw) "

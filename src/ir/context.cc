@@ -161,6 +161,16 @@ Context::lookupOp(const std::string &name) const
     return it == _opRegistry.end() ? nullptr : &it->second;
 }
 
+std::vector<std::string>
+Context::registeredOpNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(_opRegistry.size());
+    for (const auto &[name, info] : _opRegistry)
+        names.push_back(name);
+    return names;
+}
+
 // ---------------------------------------------------------------------------
 // Type member functions that need no Context access.
 

@@ -67,6 +67,10 @@ class Context {
     void registerOp(OpInfo info);
     /** Look up registry info; nullptr when unregistered. */
     const OpInfo *lookupOp(const std::string &name) const;
+    /** Names of every registered op, in sorted order. Lets tests and
+     *  tooling enumerate the registry (e.g. exhaustive round-trip
+     *  coverage that fails automatically when a new op is added). */
+    std::vector<std::string> registeredOpNames() const;
 
     /** When true the verifier tolerates unregistered op names. */
     bool allowUnregistered() const { return _allowUnregistered; }

@@ -3,7 +3,7 @@
  * Verifier and accessor unit tests for the affine dialect.
  */
 
-#include <gtest/gtest.h>
+#include "testutil.hh"
 
 #include "dialects/affine.hh"
 #include "dialects/memref.hh"
@@ -13,20 +13,7 @@ namespace {
 
 using namespace eq;
 
-class AffineTest : public ::testing::Test {
-  protected:
-    void
-    SetUp() override
-    {
-        ir::registerAllDialects(ctx);
-        module = ir::createModule(ctx);
-        b = std::make_unique<ir::OpBuilder>(ctx);
-        b->setInsertionPointToEnd(&module->region(0).front());
-    }
-    ir::Context ctx;
-    ir::OwningOpRef module;
-    std::unique_ptr<ir::OpBuilder> b;
-};
+class AffineTest : public test::RegisteredModuleTest {};
 
 TEST_F(AffineTest, ForOpBoundsAndBody)
 {

@@ -3,7 +3,7 @@
  * Verifier and accessor unit tests for the EQueue dialect.
  */
 
-#include <gtest/gtest.h>
+#include "testutil.hh"
 
 #include "dialects/equeue.hh"
 #include "ir/builder.hh"
@@ -12,20 +12,7 @@ namespace {
 
 using namespace eq;
 
-class EQueueDialectTest : public ::testing::Test {
-  protected:
-    void
-    SetUp() override
-    {
-        ir::registerAllDialects(ctx);
-        module = ir::createModule(ctx);
-        b = std::make_unique<ir::OpBuilder>(ctx);
-        b->setInsertionPointToEnd(&module->region(0).front());
-    }
-    ir::Context ctx;
-    ir::OwningOpRef module;
-    std::unique_ptr<ir::OpBuilder> b;
-};
+class EQueueDialectTest : public test::RegisteredModuleTest {};
 
 TEST_F(EQueueDialectTest, StructureOpsVerify)
 {

@@ -3,7 +3,7 @@
  * Verifier and shape tests for the linalg dialect.
  */
 
-#include <gtest/gtest.h>
+#include "testutil.hh"
 
 #include "dialects/linalg.hh"
 #include "dialects/memref.hh"
@@ -13,26 +13,13 @@ namespace {
 
 using namespace eq;
 
-class LinalgTest : public ::testing::Test {
+class LinalgTest : public test::RegisteredModuleTest {
   protected:
-    void
-    SetUp() override
-    {
-        ir::registerAllDialects(ctx);
-        module = ir::createModule(ctx);
-        b = std::make_unique<ir::OpBuilder>(ctx);
-        b->setInsertionPointToEnd(&module->region(0).front());
-    }
-
     ir::Value
     alloc(std::vector<int64_t> shape)
     {
         return b->create<memref::AllocOp>(std::move(shape), 32u)->result(0);
     }
-
-    ir::Context ctx;
-    ir::OwningOpRef module;
-    std::unique_ptr<ir::OpBuilder> b;
 };
 
 TEST_F(LinalgTest, ConvShapesAndDims)

@@ -3,27 +3,23 @@
  * Unit tests for OpBuilder insertion-point handling and typed creation.
  */
 
-#include <gtest/gtest.h>
+#include "testutil.hh"
 
 #include "dialects/arith.hh"
-#include "ir/builder.hh"
 
 namespace {
 
 using namespace eq;
 
-TEST(BuilderTest, InsertAtEndAndBefore)
+class BuilderTest : public test::UnregisteredModuleTest {};
+
+TEST_F(BuilderTest, InsertAtEndAndBefore)
 {
-    ir::Context ctx;
-    ctx.setAllowUnregistered(true);
-    auto module = ir::createModule(ctx);
-    ir::OpBuilder b(ctx);
-    ir::Block &blk = module->region(0).front();
-    b.setInsertionPointToEnd(&blk);
-    auto *first = b.create("test.a", {}, {});
-    auto *last = b.create("test.c", {}, {});
-    b.setInsertionPoint(last);
-    auto *mid = b.create("test.b", {}, {});
+    ir::Block &blk = body();
+    auto *first = b->create("test.a", {}, {});
+    auto *last = b->create("test.c", {}, {});
+    b->setInsertionPoint(last);
+    auto *mid = b->create("test.b", {}, {});
     std::vector<std::string> names;
     for (ir::Operation *op : blk)
         names.push_back(op->name());
@@ -34,56 +30,41 @@ TEST(BuilderTest, InsertAtEndAndBefore)
     EXPECT_EQ(*std::next(blk.begin()), mid);
 }
 
-TEST(BuilderTest, InsertionPointAfter)
+TEST_F(BuilderTest, InsertionPointAfter)
 {
-    ir::Context ctx;
-    ctx.setAllowUnregistered(true);
-    auto module = ir::createModule(ctx);
-    ir::OpBuilder b(ctx);
-    ir::Block &blk = module->region(0).front();
-    b.setInsertionPointToEnd(&blk);
-    auto *a = b.create("test.a", {}, {});
-    b.create("test.c", {}, {});
-    b.setInsertionPointAfter(a);
-    b.create("test.b", {}, {});
+    auto *a = b->create("test.a", {}, {});
+    b->create("test.c", {}, {});
+    b->setInsertionPointAfter(a);
+    b->create("test.b", {}, {});
     std::vector<std::string> names;
-    for (ir::Operation *op : blk)
+    for (ir::Operation *op : body())
         names.push_back(op->name());
     EXPECT_EQ(names,
               (std::vector<std::string>{"test.a", "test.b", "test.c"}));
 }
 
-TEST(BuilderTest, InsertionGuardRestores)
+TEST_F(BuilderTest, InsertionGuardRestores)
 {
-    ir::Context ctx;
-    ctx.setAllowUnregistered(true);
-    auto module = ir::createModule(ctx);
-    ir::OpBuilder b(ctx);
-    ir::Block &blk = module->region(0).front();
-    b.setInsertionPointToEnd(&blk);
-    auto *outer = b.create("test.region", {}, {}, {}, 1);
-    ir::Block *body = outer->region(0).addBlock();
+    auto *outer = b->create("test.region", {}, {}, {}, 1);
+    ir::Block *inner = outer->region(0).addBlock();
     {
-        ir::OpBuilder::InsertionGuard guard(b);
-        b.setInsertionPointToEnd(body);
-        b.create("test.inner", {}, {});
+        ir::OpBuilder::InsertionGuard guard(*b);
+        b->setInsertionPointToEnd(inner);
+        b->create("test.inner", {}, {});
     }
-    auto *after = b.create("test.after", {}, {});
-    EXPECT_EQ(after->block(), &blk);
-    EXPECT_EQ(body->size(), 1u);
+    auto *after = b->create("test.after", {}, {});
+    EXPECT_EQ(after->block(), &body());
+    EXPECT_EQ(inner->size(), 1u);
 }
 
-TEST(BuilderTest, TypedCreateViaWrapper)
+class TypedBuilderTest : public test::RegisteredModuleTest {};
+
+TEST_F(TypedBuilderTest, TypedCreateViaWrapper)
 {
-    ir::Context ctx;
-    ir::registerAllDialects(ctx);
-    auto module = ir::createModule(ctx);
-    ir::OpBuilder b(ctx);
-    b.setInsertionPointToEnd(&module->region(0).front());
-    auto c = b.create<arith::ConstantOp>(int64_t{7}, ctx.i32Type());
+    auto c = b->create<arith::ConstantOp>(int64_t{7}, ctx.i32Type());
     EXPECT_EQ(c->name(), "arith.constant");
     EXPECT_EQ(c.value().asInt(), 7);
-    auto add = b.create<arith::AddIOp>(c->result(0), c->result(0));
+    auto add = b->create<arith::AddIOp>(c->result(0), c->result(0));
     EXPECT_EQ(add->numOperands(), 2u);
     EXPECT_EQ(add->result(0).type(), ctx.i32Type());
     EXPECT_EQ(module->verify(), "");

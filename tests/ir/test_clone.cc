@@ -4,31 +4,27 @@
  * block-argument duplication, attribute preservation.
  */
 
-#include <gtest/gtest.h>
+#include "testutil.hh"
 
 #include "dialects/affine.hh"
 #include "dialects/arith.hh"
-#include "ir/builder.hh"
 
 namespace {
 
 using namespace eq;
 
-TEST(CloneTest, RemapsOperandsThroughMapping)
+class CloneTest : public test::RegisteredModuleTest {};
+
+TEST_F(CloneTest, RemapsOperandsThroughMapping)
 {
-    ir::Context ctx;
-    ir::registerAllDialects(ctx);
-    auto module = ir::createModule(ctx);
-    ir::OpBuilder b(ctx);
-    b.setInsertionPointToEnd(&module->region(0).front());
-    auto c1 = b.create<arith::ConstantOp>(int64_t{1}, ctx.i32Type());
-    auto c2 = b.create<arith::ConstantOp>(int64_t{2}, ctx.i32Type());
-    auto add = b.create<arith::AddIOp>(c1->result(0), c1->result(0));
+    auto c1 = b->create<arith::ConstantOp>(int64_t{1}, ctx.i32Type());
+    auto c2 = b->create<arith::ConstantOp>(int64_t{2}, ctx.i32Type());
+    auto add = b->create<arith::AddIOp>(c1->result(0), c1->result(0));
 
     std::map<ir::ValueImpl *, ir::Value> mapping;
     mapping[c1->result(0).impl()] = c2->result(0);
     ir::Operation *copy = add->clone(mapping);
-    b.insert(copy);
+    b->insert(copy);
     EXPECT_EQ(copy->operand(0), c2->result(0));
     EXPECT_EQ(copy->operand(1), c2->result(0));
     // Original untouched.
@@ -37,26 +33,22 @@ TEST(CloneTest, RemapsOperandsThroughMapping)
     EXPECT_EQ(mapping.at(add->result(0).impl()), copy->result(0));
 }
 
-TEST(CloneTest, DeepCopiesRegionsAndBlockArgs)
+TEST_F(CloneTest, DeepCopiesRegionsAndBlockArgs)
 {
-    ir::Context ctx;
-    ir::registerAllDialects(ctx);
-    auto module = ir::createModule(ctx);
-    ir::OpBuilder b(ctx);
-    b.setInsertionPointToEnd(&module->region(0).front());
-    auto loop = b.create<affine::ForOp>(int64_t{0}, int64_t{4}, int64_t{1});
+    auto loop =
+        b->create<affine::ForOp>(int64_t{0}, int64_t{4}, int64_t{1});
     {
-        ir::OpBuilder::InsertionGuard g(b);
+        ir::OpBuilder::InsertionGuard g(*b);
         affine::ForOp f(loop.op());
-        b.setInsertionPointToEnd(&f.body());
-        auto two = b.create<arith::ConstantOp>(int64_t{2}, ctx.indexType());
-        b.create<arith::MulIOp>(f.inductionVar(), two->result(0));
-        b.create<affine::YieldOp>(std::vector<ir::Value>{});
+        b->setInsertionPointToEnd(&f.body());
+        auto two = b->create<arith::ConstantOp>(int64_t{2}, ctx.indexType());
+        b->create<arith::MulIOp>(f.inductionVar(), two->result(0));
+        b->create<affine::YieldOp>(std::vector<ir::Value>{});
     }
 
     std::map<ir::ValueImpl *, ir::Value> mapping;
     ir::Operation *copy = loop->clone(mapping);
-    b.insert(copy);
+    b->insert(copy);
     affine::ForOp cf(copy);
     ASSERT_EQ(cf.body().size(), 3u);
     ASSERT_EQ(cf.body().numArguments(), 1u);
@@ -71,20 +63,16 @@ TEST(CloneTest, DeepCopiesRegionsAndBlockArgs)
     EXPECT_EQ(module->verify(), "");
 }
 
-TEST(CloneTest, ClonePrintsIdenticallyToOriginal)
+TEST_F(CloneTest, ClonePrintsIdenticallyToOriginal)
 {
-    ir::Context ctx;
-    ir::registerAllDialects(ctx);
-    auto module = ir::createModule(ctx);
-    ir::OpBuilder b(ctx);
-    b.setInsertionPointToEnd(&module->region(0).front());
-    auto loop = b.create<affine::ForOp>(int64_t{0}, int64_t{8}, int64_t{2});
+    auto loop =
+        b->create<affine::ForOp>(int64_t{0}, int64_t{8}, int64_t{2});
     {
-        ir::OpBuilder::InsertionGuard g(b);
+        ir::OpBuilder::InsertionGuard g(*b);
         affine::ForOp f(loop.op());
-        b.setInsertionPointToEnd(&f.body());
-        b.create<arith::AddIOp>(f.inductionVar(), f.inductionVar());
-        b.create<affine::YieldOp>(std::vector<ir::Value>{});
+        b->setInsertionPointToEnd(&f.body());
+        b->create<arith::AddIOp>(f.inductionVar(), f.inductionVar());
+        b->create<affine::YieldOp>(std::vector<ir::Value>{});
     }
     std::map<ir::ValueImpl *, ir::Value> mapping;
     ir::Operation *copy = loop->clone(mapping);

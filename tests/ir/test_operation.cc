@@ -3,9 +3,8 @@
  * Unit tests for operations, blocks, regions, use lists, and RAUW.
  */
 
-#include <gtest/gtest.h>
+#include "testutil.hh"
 
-#include "ir/builder.hh"
 #include "ir/context.hh"
 #include "ir/operation.hh"
 
@@ -13,58 +12,44 @@ namespace {
 
 using namespace eq;
 
-class OperationTest : public ::testing::Test {
-  protected:
-    void
-    SetUp() override
-    {
-        ctx.setAllowUnregistered(true);
-        module = ir::createModule(ctx);
-        builder = std::make_unique<ir::OpBuilder>(ctx);
-        builder->setInsertionPointToEnd(&module->region(0).front());
-    }
-
-    ir::Context ctx;
-    ir::OwningOpRef module;
-    std::unique_ptr<ir::OpBuilder> builder;
-};
+class OperationTest : public test::UnregisteredModuleTest {};
 
 TEST_F(OperationTest, CreateWithResultsAndOperands)
 {
-    auto *a = builder->create("test.def", {ctx.i32Type()}, {});
-    auto *b = builder->create("test.use", {ctx.i64Type()},
-                              {a->result(0), a->result(0)});
-    EXPECT_EQ(b->numOperands(), 2u);
-    EXPECT_EQ(b->operand(0), a->result(0));
-    EXPECT_EQ(a->result(0).numUses(), 2u);
-    EXPECT_EQ(b->result(0).type(), ctx.i64Type());
-    EXPECT_EQ(a->result(0).definingOp(), a);
+    auto *def = b->create("test.def", {ctx.i32Type()}, {});
+    auto *use = b->create("test.use", {ctx.i64Type()},
+                          {def->result(0), def->result(0)});
+    EXPECT_EQ(use->numOperands(), 2u);
+    EXPECT_EQ(use->operand(0), def->result(0));
+    EXPECT_EQ(def->result(0).numUses(), 2u);
+    EXPECT_EQ(use->result(0).type(), ctx.i64Type());
+    EXPECT_EQ(def->result(0).definingOp(), def);
 }
 
 TEST_F(OperationTest, NameComponents)
 {
-    auto *op = builder->create("equeue.launch", {}, {});
+    auto *op = b->create("equeue.launch", {}, {});
     EXPECT_EQ(op->dialect(), "equeue");
     EXPECT_EQ(op->shortName(), "launch");
 }
 
 TEST_F(OperationTest, ReplaceAllUsesWith)
 {
-    auto *a = builder->create("test.def", {ctx.i32Type()}, {});
-    auto *b = builder->create("test.def", {ctx.i32Type()}, {});
-    auto *u1 = builder->create("test.use", {}, {a->result(0)});
-    auto *u2 = builder->create("test.use", {}, {a->result(0), b->result(0)});
-    a->result(0).replaceAllUsesWith(b->result(0));
+    auto *a = b->create("test.def", {ctx.i32Type()}, {});
+    auto *c = b->create("test.def", {ctx.i32Type()}, {});
+    auto *u1 = b->create("test.use", {}, {a->result(0)});
+    auto *u2 = b->create("test.use", {}, {a->result(0), c->result(0)});
+    a->result(0).replaceAllUsesWith(c->result(0));
     EXPECT_EQ(a->result(0).numUses(), 0u);
-    EXPECT_EQ(b->result(0).numUses(), 3u);
-    EXPECT_EQ(u1->operand(0), b->result(0));
-    EXPECT_EQ(u2->operand(0), b->result(0));
+    EXPECT_EQ(c->result(0).numUses(), 3u);
+    EXPECT_EQ(u1->operand(0), c->result(0));
+    EXPECT_EQ(u2->operand(0), c->result(0));
 }
 
 TEST_F(OperationTest, EraseRemovesUses)
 {
-    auto *a = builder->create("test.def", {ctx.i32Type()}, {});
-    auto *u = builder->create("test.use", {}, {a->result(0)});
+    auto *a = b->create("test.def", {ctx.i32Type()}, {});
+    auto *u = b->create("test.use", {}, {a->result(0)});
     EXPECT_EQ(a->result(0).numUses(), 1u);
     u->erase();
     EXPECT_EQ(a->result(0).numUses(), 0u);
@@ -72,51 +57,51 @@ TEST_F(OperationTest, EraseRemovesUses)
 
 TEST_F(OperationTest, EraseOperandShiftsAndReindexes)
 {
-    auto *a = builder->create("test.def", {ctx.i32Type()}, {});
-    auto *b = builder->create("test.def", {ctx.i32Type()}, {});
-    auto *u = builder->create("test.use", {},
-                              {a->result(0), b->result(0), a->result(0)});
+    auto *a = b->create("test.def", {ctx.i32Type()}, {});
+    auto *c = b->create("test.def", {ctx.i32Type()}, {});
+    auto *u = b->create("test.use", {},
+                        {a->result(0), c->result(0), a->result(0)});
     u->eraseOperand(0);
     EXPECT_EQ(u->numOperands(), 2u);
-    EXPECT_EQ(u->operand(0), b->result(0));
+    EXPECT_EQ(u->operand(0), c->result(0));
     EXPECT_EQ(u->operand(1), a->result(0));
     EXPECT_EQ(a->result(0).numUses(), 1u);
     // The remaining use must carry the updated operand index.
-    a->result(0).replaceAllUsesWith(b->result(0));
-    EXPECT_EQ(u->operand(1), b->result(0));
+    a->result(0).replaceAllUsesWith(c->result(0));
+    EXPECT_EQ(u->operand(1), c->result(0));
 }
 
 TEST_F(OperationTest, MoveBefore)
 {
-    auto *a = builder->create("test.a", {}, {});
-    auto *b = builder->create("test.b", {}, {});
-    ir::Block &blk = module->region(0).front();
+    auto *a = b->create("test.a", {}, {});
+    auto *c = b->create("test.b", {}, {});
+    ir::Block &blk = body();
     EXPECT_EQ(blk.front(), a);
     a->moveBefore(a); // no-op shuffle within the same block
-    b->moveBefore(a);
-    EXPECT_EQ(blk.front(), b);
+    c->moveBefore(a);
+    EXPECT_EQ(blk.front(), c);
     EXPECT_EQ(blk.back(), a);
 }
 
 TEST_F(OperationTest, BlockArguments)
 {
-    auto *op = builder->create("test.region", {}, {}, {}, 1);
-    ir::Block *body = op->region(0).addBlock();
-    ir::Value arg = body->addArgument(ctx.indexType());
+    auto *op = b->create("test.region", {}, {}, {}, 1);
+    ir::Block *inner = op->region(0).addBlock();
+    ir::Value arg = inner->addArgument(ctx.indexType());
     EXPECT_TRUE(arg.isBlockArg());
-    EXPECT_EQ(arg.ownerBlock(), body);
+    EXPECT_EQ(arg.ownerBlock(), inner);
     EXPECT_EQ(arg.type(), ctx.indexType());
-    EXPECT_EQ(body->numArguments(), 1u);
+    EXPECT_EQ(inner->numArguments(), 1u);
 }
 
 TEST_F(OperationTest, WalkVisitsNestedOps)
 {
-    auto *outer = builder->create("test.region", {}, {}, {}, 1);
-    ir::Block *body = outer->region(0).addBlock();
-    ir::OpBuilder inner(ctx);
-    inner.setInsertionPointToEnd(body);
-    inner.create("test.inner1", {}, {});
-    inner.create("test.inner2", {}, {});
+    auto *outer = b->create("test.region", {}, {}, {}, 1);
+    ir::Block *inner = outer->region(0).addBlock();
+    ir::OpBuilder ib(ctx);
+    ib.setInsertionPointToEnd(inner);
+    ib.create("test.inner1", {}, {});
+    ib.create("test.inner2", {}, {});
     int count = 0;
     module->walk([&](ir::Operation *) { ++count; });
     // module + outer + 2 inner = 4
@@ -126,7 +111,7 @@ TEST_F(OperationTest, WalkVisitsNestedOps)
 TEST_F(OperationTest, VerifyRejectsUnregisteredWhenStrict)
 {
     ctx.setAllowUnregistered(false);
-    auto *op = builder->create("test.unknown", {}, {});
+    auto *op = b->create("test.unknown", {}, {});
     EXPECT_NE(op->verify(), "");
     ctx.setAllowUnregistered(true);
     EXPECT_EQ(op->verify(), "");
@@ -134,7 +119,7 @@ TEST_F(OperationTest, VerifyRejectsUnregisteredWhenStrict)
 
 TEST_F(OperationTest, IntAttrHelpers)
 {
-    auto *op = builder->create("test.attrs", {}, {});
+    auto *op = b->create("test.attrs", {}, {});
     op->setAttr("x", ir::Attribute::integer(5));
     EXPECT_EQ(op->intAttr("x"), 5);
     EXPECT_EQ(op->intAttrOr("missing", 9), 9);

@@ -3,20 +3,18 @@
  * Unit tests for Pass / PassManager sequencing, diagnostics, timing.
  */
 
-#include <gtest/gtest.h>
+#include "testutil.hh"
 
-#include "ir/builder.hh"
 #include "ir/pass.hh"
 
 namespace {
 
 using namespace eq;
 
-TEST(PassManagerTest, RunsPassesInOrder)
+class PassManagerTest : public test::UnregisteredModuleTest {};
+
+TEST_F(PassManagerTest, RunsPassesInOrder)
 {
-    ir::Context ctx;
-    ctx.setAllowUnregistered(true);
-    auto module = ir::createModule(ctx);
     std::vector<int> order;
     ir::PassManager pm;
     pm.add<ir::LambdaPass>("first", [&](ir::Operation *) {
@@ -33,11 +31,8 @@ TEST(PassManagerTest, RunsPassesInOrder)
     EXPECT_EQ(pm.timings()[0].name, "first");
 }
 
-TEST(PassManagerTest, StopsOnFailure)
+TEST_F(PassManagerTest, StopsOnFailure)
 {
-    ir::Context ctx;
-    ctx.setAllowUnregistered(true);
-    auto module = ir::createModule(ctx);
     bool second_ran = false;
     ir::PassManager pm;
     pm.add<ir::LambdaPass>("boom", [](ir::Operation *) {
@@ -53,7 +48,7 @@ TEST(PassManagerTest, StopsOnFailure)
     EXPECT_FALSE(second_ran);
 }
 
-TEST(PassManagerTest, VerifiesBetweenPasses)
+TEST(PassManagerStrictTest, VerifiesBetweenPasses)
 {
     ir::Context ctx; // strict: unregistered ops fail verification
     auto module = ir::createModule(ctx);

@@ -1,154 +1,95 @@
 /**
  * @file
  * Round-trip tests: parse(print(module)) must be structurally identical.
+ * The structural comparison and round-trip helpers live in testutil.hh;
+ * exhaustive per-registered-op coverage is in test_roundtrip_registry.cc.
  */
 
-#include <gtest/gtest.h>
+#include "testutil.hh"
 
 #include "dialects/affine.hh"
 #include "dialects/arith.hh"
 #include "dialects/equeue.hh"
-#include "ir/builder.hh"
 #include "ir/parser.hh"
 
 namespace {
 
 using namespace eq;
+using test::roundTrip;
 
-/** Structural comparison of two op trees (names, counts, attrs, types). */
-void
-expectStructurallyEqual(ir::Operation *a, ir::Operation *b)
-{
-    ASSERT_EQ(a->name(), b->name());
-    ASSERT_EQ(a->numOperands(), b->numOperands());
-    ASSERT_EQ(a->numResults(), b->numResults());
-    ASSERT_EQ(a->numRegions(), b->numRegions());
-    for (unsigned i = 0; i < a->numResults(); ++i)
-        EXPECT_EQ(a->result(i).type().str(), b->result(i).type().str());
-    for (unsigned i = 0; i < a->numOperands(); ++i)
-        EXPECT_EQ(a->operand(i).type().str(), b->operand(i).type().str());
-    ASSERT_EQ(a->attrs().size(), b->attrs().size());
-    for (const auto &[name, attr] : a->attrs()) {
-        ASSERT_TRUE(static_cast<bool>(b->attr(name))) << name;
-        EXPECT_EQ(attr.str(), b->attr(name).str()) << name;
-    }
-    for (unsigned r = 0; r < a->numRegions(); ++r) {
-        auto &ra = a->region(r);
-        auto &rb = b->region(r);
-        ASSERT_EQ(ra.numBlocks(), rb.numBlocks());
-        if (ra.numBlocks() == 0)
-            continue;
-        auto ia = ra.front().begin();
-        auto ib = rb.front().begin();
-        ASSERT_EQ(ra.front().size(), rb.front().size());
-        for (; ia != ra.front().end(); ++ia, ++ib)
-            expectStructurallyEqual(*ia, *ib);
-    }
-}
+class PrinterParserTest : public test::RegisteredModuleTest {};
 
-void
-roundTrip(ir::Context &ctx, ir::Operation *module)
+TEST_F(PrinterParserTest, EmptyModule)
 {
-    std::string text = module->str();
-    ir::ParseResult parsed = ir::parseSourceString(ctx, text);
-    ASSERT_TRUE(static_cast<bool>(parsed)) << parsed.error << "\n" << text;
-    expectStructurallyEqual(module, parsed.op.get());
-    // Printing the parse result again must give identical text.
-    EXPECT_EQ(text, parsed.op->str());
-}
-
-TEST(PrinterParserTest, EmptyModule)
-{
-    ir::Context ctx;
-    ir::registerAllDialects(ctx);
-    auto module = ir::createModule(ctx);
     roundTrip(ctx, module.get());
 }
 
-TEST(PrinterParserTest, ArithChain)
+TEST_F(PrinterParserTest, ArithChain)
 {
-    ir::Context ctx;
-    ir::registerAllDialects(ctx);
-    auto module = ir::createModule(ctx);
-    ir::OpBuilder b(ctx);
-    b.setInsertionPointToEnd(&module->region(0).front());
-    auto c1 = b.create<arith::ConstantOp>(int64_t{3}, ctx.i32Type());
-    auto c2 = b.create<arith::ConstantOp>(int64_t{4}, ctx.i32Type());
-    auto add = b.create<arith::AddIOp>(c1->result(0), c2->result(0));
-    b.create<arith::MulIOp>(add->result(0), c1->result(0));
+    auto c1 = b->create<arith::ConstantOp>(int64_t{3}, ctx.i32Type());
+    auto c2 = b->create<arith::ConstantOp>(int64_t{4}, ctx.i32Type());
+    auto add = b->create<arith::AddIOp>(c1->result(0), c2->result(0));
+    b->create<arith::MulIOp>(add->result(0), c1->result(0));
     roundTrip(ctx, module.get());
 }
 
-TEST(PrinterParserTest, NestedRegionsWithBlockArgs)
+TEST_F(PrinterParserTest, NestedRegionsWithBlockArgs)
 {
-    ir::Context ctx;
-    ir::registerAllDialects(ctx);
-    auto module = ir::createModule(ctx);
-    ir::OpBuilder b(ctx);
-    b.setInsertionPointToEnd(&module->region(0).front());
-    auto loop = b.create<affine::ForOp>(int64_t{0}, int64_t{8}, int64_t{1});
+    auto loop = b->create<affine::ForOp>(int64_t{0}, int64_t{8}, int64_t{1});
     {
-        ir::OpBuilder::InsertionGuard g(b);
-        b.setInsertionPointToEnd(&affine::ForOp(loop.op()).body());
-        auto c = b.create<arith::ConstantOp>(int64_t{1}, ctx.indexType());
-        b.create<arith::AddIOp>(affine::ForOp(loop.op()).inductionVar(),
-                                c->result(0));
-        b.create<affine::YieldOp>(std::vector<ir::Value>{});
+        ir::OpBuilder::InsertionGuard g(*b);
+        b->setInsertionPointToEnd(&affine::ForOp(loop.op()).body());
+        auto c = b->create<arith::ConstantOp>(int64_t{1}, ctx.indexType());
+        b->create<arith::AddIOp>(affine::ForOp(loop.op()).inductionVar(),
+                                 c->result(0));
+        b->create<affine::YieldOp>(std::vector<ir::Value>{});
     }
     roundTrip(ctx, module.get());
 }
 
-TEST(PrinterParserTest, EQueueStructureAndLaunch)
+TEST_F(PrinterParserTest, EQueueStructureAndLaunch)
 {
-    ir::Context ctx;
-    ir::registerAllDialects(ctx);
-    auto module = ir::createModule(ctx);
-    ir::OpBuilder b(ctx);
-    b.setInsertionPointToEnd(&module->region(0).front());
-    auto proc = b.create<equeue::CreateProcOp>(std::string("ARMr5"));
-    auto mem = b.create<equeue::CreateMemOp>(
+    auto proc = b->create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto mem = b->create<equeue::CreateMemOp>(
         std::string("SRAM"), std::vector<int64_t>{4096}, 32u, 4u);
-    auto buf = b.create<equeue::AllocOp>(mem->result(0),
-                                         std::vector<int64_t>{64}, 32u);
-    auto start = b.create<equeue::ControlStartOp>();
-    auto launch = b.create<equeue::LaunchOp>(
+    auto buf = b->create<equeue::AllocOp>(mem->result(0),
+                                          std::vector<int64_t>{64}, 32u);
+    auto start = b->create<equeue::ControlStartOp>();
+    auto launch = b->create<equeue::LaunchOp>(
         std::vector<ir::Value>{start->result(0)}, proc->result(0),
         std::vector<ir::Value>{buf->result(0)}, std::vector<ir::Type>{});
     {
-        ir::OpBuilder::InsertionGuard g(b);
+        ir::OpBuilder::InsertionGuard g(*b);
         equeue::LaunchOp l(launch.op());
-        b.setInsertionPointToEnd(&l.body());
+        b->setInsertionPointToEnd(&l.body());
         auto data =
-            b.create<equeue::ReadOp>(l.body().argument(0), ir::Value(),
-                                     std::vector<ir::Value>{});
-        b.create<equeue::WriteOp>(data->result(0), l.body().argument(0),
-                                  ir::Value(), std::vector<ir::Value>{});
-        b.create<equeue::ReturnOp>(std::vector<ir::Value>{});
+            b->create<equeue::ReadOp>(l.body().argument(0), ir::Value(),
+                                      std::vector<ir::Value>{});
+        b->create<equeue::WriteOp>(data->result(0), l.body().argument(0),
+                                   ir::Value(), std::vector<ir::Value>{});
+        b->create<equeue::ReturnOp>(std::vector<ir::Value>{});
     }
-    b.create<equeue::AwaitOp>(std::vector<ir::Value>{launch->result(0)});
+    b->create<equeue::AwaitOp>(std::vector<ir::Value>{launch->result(0)});
     ASSERT_EQ(module->verify(), "");
     roundTrip(ctx, module.get());
 }
 
-TEST(PrinterParserTest, MultiResultUsesHashSyntax)
+class UnregisteredPrinterParserTest : public test::UnregisteredModuleTest {
+};
+
+TEST_F(UnregisteredPrinterParserTest, MultiResultUsesHashSyntax)
 {
-    ir::Context ctx;
-    ctx.setAllowUnregistered(true);
-    auto module = ir::createModule(ctx);
-    ir::OpBuilder b(ctx);
-    b.setInsertionPointToEnd(&module->region(0).front());
-    auto *multi = b.create("test.multi", {ctx.i32Type(), ctx.i64Type()}, {});
-    b.create("test.use", {}, {multi->result(1), multi->result(0)});
+    auto *multi =
+        b->create("test.multi", {ctx.i32Type(), ctx.i64Type()}, {});
+    b->create("test.use", {}, {multi->result(1), multi->result(0)});
     std::string text = module->str();
     EXPECT_NE(text.find(":2 = "), std::string::npos);
     EXPECT_NE(text.find("#1"), std::string::npos);
     roundTrip(ctx, module.get());
 }
 
-TEST(PrinterParserTest, ParserRejectsGarbage)
+TEST_F(PrinterParserTest, ParserRejectsGarbage)
 {
-    ir::Context ctx;
-    ir::registerAllDialects(ctx);
     EXPECT_FALSE(static_cast<bool>(ir::parseSourceString(ctx, "not ir")));
     EXPECT_FALSE(static_cast<bool>(
         ir::parseSourceString(ctx, "\"builtin.module\"( : () -> ()")));
@@ -157,10 +98,8 @@ TEST(PrinterParserTest, ParserRejectsGarbage)
         ctx, "\"test.use\"(%99) : (i32) -> ()")));
 }
 
-TEST(PrinterParserTest, CommentsAreSkipped)
+TEST_F(PrinterParserTest, CommentsAreSkipped)
 {
-    ir::Context ctx;
-    ir::registerAllDialects(ctx);
     std::string src = "// a comment\n\"builtin.module\"() ({\n"
                       "// inner comment\n}) : () -> ()\n";
     auto parsed = ir::parseSourceString(ctx, src);

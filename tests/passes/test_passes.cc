@@ -135,9 +135,10 @@ TEST_F(PassTest, ReassignBufferRedirectsUses)
     EXPECT_EQ(module->verify(), "");
     // All reads/writes now target the register buffer.
     module->walk([&](ir::Operation *op) {
-        if (op->name() == equeue::ReadOp::opName)
+        if (op->name() == equeue::ReadOp::opName) {
             EXPECT_EQ(equeue::ReadOp(op).buffer().type().shape(),
                       (std::vector<int64_t>{1}));
+        }
     });
 }
 

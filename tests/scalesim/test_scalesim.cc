@@ -94,6 +94,7 @@ TEST_P(ScaleSimSweep, InvariantsHoldAcrossConfigs)
     auto [ah, hw, f, n] = GetParam();
     for (Dataflow df : {Dataflow::WS, Dataflow::IS, Dataflow::OS}) {
         Config cfg;
+        cfg.dataflow = df;
         cfg.ah = ah;
         cfg.aw = 64 / ah;
         cfg.c = 2;

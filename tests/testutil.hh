@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Shared test fixtures and helpers for the eqsim suites.
+ *
+ * Every IR-building test needs the same setup: a Context with dialects
+ * registered (or unregistered ops allowed), a fresh builtin.module, and
+ * an OpBuilder parked at the end of the module body. The fixtures here
+ * centralise that so the suites stay focused on behaviour:
+ *
+ *   RegisteredModuleTest    all dialects registered (the common case)
+ *   UnregisteredModuleTest  allowUnregistered(true) for "test.*" ops
+ *
+ * Also provides printer/parser round-trip helpers (structural equality
+ * plus print->parse->print fixpoint) and IR string normalization for
+ * text-level comparisons.
+ */
+
+#ifndef EQ_TESTS_TESTUTIL_HH
+#define EQ_TESTS_TESTUTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "dialects/equeue.hh"
+#include "ir/builder.hh"
+#include "ir/parser.hh"
+
+namespace eq {
+namespace test {
+
+/** Common core: Context + module + builder at the end of the module
+ *  body. Derived fixtures decide how the context handles dialects. */
+class ModuleTestBase : public ::testing::Test {
+  protected:
+    /** (Re)create the module and park the builder at its end. Call
+     *  again mid-test for a fresh module in the same context. */
+    void
+    resetModule()
+    {
+        module = ir::createModule(ctx);
+        b = std::make_unique<ir::OpBuilder>(ctx);
+        b->setInsertionPointToEnd(&body());
+    }
+
+    /** The module's entry block (where the builder starts out). */
+    ir::Block &
+    body()
+    {
+        return module->region(0).front();
+    }
+
+    ir::Context ctx;
+    ir::OwningOpRef module;
+    std::unique_ptr<ir::OpBuilder> b;
+};
+
+/** Fixture with every dialect registered — verifier-on testing. */
+class RegisteredModuleTest : public ModuleTestBase {
+  protected:
+    void
+    SetUp() override
+    {
+        ir::registerAllDialects(ctx);
+        resetModule();
+    }
+};
+
+/** Fixture that admits unregistered ("test.*") operations. */
+class UnregisteredModuleTest : public ModuleTestBase {
+  protected:
+    void
+    SetUp() override
+    {
+        ctx.setAllowUnregistered(true);
+        resetModule();
+    }
+};
+
+/**
+ * Normalize printed IR for robust text comparison: strips trailing
+ * whitespace from every line, drops leading/trailing blank lines, and
+ * guarantees exactly one trailing newline.
+ */
+inline std::string
+normalizeIr(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    std::string out;
+    size_t pendingBlank = 0;
+    bool any = false;
+    while (std::getline(in, line)) {
+        size_t end = line.find_last_not_of(" \t\r");
+        line = end == std::string::npos ? "" : line.substr(0, end + 1);
+        if (line.empty()) {
+            if (any)
+                ++pendingBlank;
+            continue;
+        }
+        for (; pendingBlank; --pendingBlank)
+            out += '\n';
+        out += line;
+        out += '\n';
+        any = true;
+    }
+    return out;
+}
+
+/** Structural comparison of two op trees (names, counts, attrs, types). */
+inline void
+expectStructurallyEqual(ir::Operation *a, ir::Operation *b)
+{
+    ASSERT_EQ(a->name(), b->name());
+    ASSERT_EQ(a->numOperands(), b->numOperands());
+    ASSERT_EQ(a->numResults(), b->numResults());
+    ASSERT_EQ(a->numRegions(), b->numRegions());
+    for (unsigned i = 0; i < a->numResults(); ++i)
+        EXPECT_EQ(a->result(i).type().str(), b->result(i).type().str());
+    for (unsigned i = 0; i < a->numOperands(); ++i)
+        EXPECT_EQ(a->operand(i).type().str(), b->operand(i).type().str());
+    ASSERT_EQ(a->attrs().size(), b->attrs().size());
+    for (const auto &[name, attr] : a->attrs()) {
+        ASSERT_TRUE(static_cast<bool>(b->attr(name))) << name;
+        EXPECT_EQ(attr.str(), b->attr(name).str()) << name;
+    }
+    for (unsigned r = 0; r < a->numRegions(); ++r) {
+        auto &ra = a->region(r);
+        auto &rb = b->region(r);
+        ASSERT_EQ(ra.numBlocks(), rb.numBlocks());
+        if (ra.numBlocks() == 0)
+            continue;
+        auto ia = ra.front().begin();
+        auto ib = rb.front().begin();
+        ASSERT_EQ(ra.front().size(), rb.front().size());
+        for (; ia != ra.front().end(); ++ia, ++ib)
+            expectStructurallyEqual(*ia, *ib);
+    }
+}
+
+/** print -> parse -> compare structurally -> print again must be a
+ *  fixpoint. The workhorse of every round-trip test. */
+inline void
+roundTrip(ir::Context &ctx, ir::Operation *module)
+{
+    std::string text = module->str();
+    ir::ParseResult parsed = ir::parseSourceString(ctx, text);
+    ASSERT_TRUE(static_cast<bool>(parsed)) << parsed.error << "\n" << text;
+    expectStructurallyEqual(module, parsed.op.get());
+    EXPECT_EQ(text, parsed.op->str());
+}
+
+} // namespace test
+} // namespace eq
+
+#endif // EQ_TESTS_TESTUTIL_HH

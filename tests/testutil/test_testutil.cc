@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tests for the shared test scaffolding itself: the module fixtures and
+ * the IR string normalization helper.
+ */
+
+#include "testutil.hh"
+
+namespace {
+
+using namespace eq;
+using test::normalizeIr;
+
+TEST(NormalizeIrTest, StripsTrailingWhitespaceAndBlankEdges)
+{
+    EXPECT_EQ(normalizeIr("a  \n\nb\t\n"), "a\n\nb\n");
+    EXPECT_EQ(normalizeIr("\n\n  \nop1\nop2\n\n\n"), "op1\nop2\n");
+    EXPECT_EQ(normalizeIr(""), "");
+    EXPECT_EQ(normalizeIr("   \n\t\n"), "");
+    EXPECT_EQ(normalizeIr("x"), "x\n");
+    // Interior blank lines survive (only edges are trimmed).
+    EXPECT_EQ(normalizeIr("a\n\n\nb"), "a\n\n\nb\n");
+    // Windows line endings are normalized away.
+    EXPECT_EQ(normalizeIr("a\r\nb\r\n"), "a\nb\n");
+}
+
+TEST(NormalizeIrTest, EqualModulesNormalizeIdentically)
+{
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = ir::createModule(ctx);
+    std::string printed = module->str();
+    // Printed IR is already normal-form: normalization is idempotent
+    // and a no-op apart from trailing-newline canonicalization.
+    EXPECT_EQ(normalizeIr(printed), normalizeIr(normalizeIr(printed)));
+    EXPECT_EQ(normalizeIr(printed), normalizeIr(printed + "   \n\n"));
+}
+
+class FixtureSmokeTest : public test::RegisteredModuleTest {};
+
+TEST_F(FixtureSmokeTest, ResetModuleGivesAFreshModule)
+{
+    b->create("builtin.module", {}, {}); // any registered op
+    ASSERT_EQ(body().size(), 1u);
+    ir::Operation *old = module.get();
+    resetModule();
+    EXPECT_EQ(body().size(), 0u);
+    EXPECT_NE(module.get(), old);
+}
+
+} // namespace
