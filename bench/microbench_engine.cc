@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
+#include "dialects/affine.hh"
 #include "dialects/arith.hh"
 #include "dialects/equeue.hh"
 
@@ -67,6 +68,78 @@ BM_ScaleSimAnalytic(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ScaleSimAnalytic)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_OpIdIntern(benchmark::State &state)
+{
+    // Interning + cached per-class id resolution: the constant factor
+    // behind every pass pattern-match and dispatch-table build.
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ctx.internOpName("equeue.launch"));
+        benchmark::DoNotOptimize(equeue::ReadOp::id(ctx));
+        benchmark::DoNotOptimize(arith::AddIOp::id(ctx));
+    }
+}
+BENCHMARK(BM_OpIdIntern);
+
+void
+BM_InterpLoopNest(benchmark::State &state)
+{
+    // Pure interpreter throughput: an N x N affine loop nest of scalar
+    // arithmetic on one core — every iteration exercises table
+    // dispatch, the dense value environment, and the cost table with
+    // no event-queue traffic.
+    const int n = static_cast<int>(state.range(0));
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = ir::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(&module->region(0).front());
+    auto proc = b.create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto start = b.create<equeue::ControlStartOp>();
+    auto launch = b.create<equeue::LaunchOp>(
+        std::vector<ir::Value>{start->result(0)}, proc->result(0),
+        std::vector<ir::Value>{}, std::vector<ir::Type>{});
+    {
+        ir::OpBuilder::InsertionGuard g(b);
+        equeue::LaunchOp l(launch.op());
+        b.setInsertionPointToEnd(&l.body());
+        auto outer = b.create<affine::ForOp>(int64_t{0}, int64_t{n},
+                                             int64_t{1});
+        {
+            ir::OpBuilder::InsertionGuard g2(b);
+            affine::ForOp of(outer.op());
+            b.setInsertionPointToEnd(&of.body());
+            auto inner = b.create<affine::ForOp>(int64_t{0}, int64_t{n},
+                                                 int64_t{1});
+            {
+                ir::OpBuilder::InsertionGuard g3(b);
+                affine::ForOp inf(inner.op());
+                b.setInsertionPointToEnd(&inf.body());
+                auto sum = b.create<arith::AddIOp>(of.inductionVar(),
+                                                   inf.inductionVar());
+                b.create<arith::MulIOp>(sum->result(0), sum->result(0));
+                b.create<affine::YieldOp>(std::vector<ir::Value>{});
+            }
+            b.create<affine::YieldOp>(std::vector<ir::Value>{});
+        }
+        b.create<equeue::ReturnOp>(std::vector<ir::Value>{});
+    }
+    b.create<equeue::AwaitOp>(std::vector<ir::Value>{launch->result(0)});
+
+    sim::Simulator s;
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        auto rep = s.simulate(module.get());
+        ops = rep.opsExecuted;
+        benchmark::DoNotOptimize(rep.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_InterpLoopNest)->Arg(32)->Arg(128);
 
 void
 BM_EventDispatch(benchmark::State &state)

@@ -22,6 +22,7 @@ class ForOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "affine.for";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, int64_t lb, int64_t ub,
                                 int64_t step = 1);
@@ -41,6 +42,7 @@ class ParallelOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "affine.parallel";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, std::vector<int64_t> lbs,
                                 std::vector<int64_t> ubs,
@@ -66,6 +68,7 @@ class LoadOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "affine.load";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value memref,
                                 std::vector<ir::Value> indices);
@@ -79,6 +82,7 @@ class StoreOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "affine.store";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value value,
                                 ir::Value memref,
@@ -94,6 +98,7 @@ class YieldOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "affine.yield";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b,
                                 std::vector<ir::Value> values = {});

@@ -20,6 +20,7 @@ class ConstantOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "arith.constant";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, int64_t value,
                                 ir::Type type);
@@ -36,6 +37,7 @@ ir::Operation *buildBinary(ir::OpBuilder &b, const char *name, ir::Value lhs,
 struct AddIOp : ir::OpView {
     using OpView::OpView;
     static constexpr const char *opName = "arith.addi";
+    EQ_DECLARE_OP_ID()
     static ir::Operation *
     build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
     {
@@ -46,6 +48,7 @@ struct AddIOp : ir::OpView {
 struct SubIOp : ir::OpView {
     using OpView::OpView;
     static constexpr const char *opName = "arith.subi";
+    EQ_DECLARE_OP_ID()
     static ir::Operation *
     build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
     {
@@ -56,6 +59,7 @@ struct SubIOp : ir::OpView {
 struct MulIOp : ir::OpView {
     using OpView::OpView;
     static constexpr const char *opName = "arith.muli";
+    EQ_DECLARE_OP_ID()
     static ir::Operation *
     build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
     {
@@ -66,6 +70,7 @@ struct MulIOp : ir::OpView {
 struct DivSIOp : ir::OpView {
     using OpView::OpView;
     static constexpr const char *opName = "arith.divsi";
+    EQ_DECLARE_OP_ID()
     static ir::Operation *
     build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
     {
@@ -76,6 +81,7 @@ struct DivSIOp : ir::OpView {
 struct RemSIOp : ir::OpView {
     using OpView::OpView;
     static constexpr const char *opName = "arith.remsi";
+    EQ_DECLARE_OP_ID()
     static ir::Operation *
     build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
     {
@@ -86,6 +92,7 @@ struct RemSIOp : ir::OpView {
 struct AddFOp : ir::OpView {
     using OpView::OpView;
     static constexpr const char *opName = "arith.addf";
+    EQ_DECLARE_OP_ID()
     static ir::Operation *
     build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
     {
@@ -96,6 +103,7 @@ struct AddFOp : ir::OpView {
 struct MulFOp : ir::OpView {
     using OpView::OpView;
     static constexpr const char *opName = "arith.mulf";
+    EQ_DECLARE_OP_ID()
     static ir::Operation *
     build(ir::OpBuilder &b, ir::Value lhs, ir::Value rhs)
     {

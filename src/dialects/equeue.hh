@@ -40,6 +40,7 @@ class CreateProcOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.create_proc";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, const std::string &kind);
     const std::string &kind() const { return _op->strAttr("kind"); }
@@ -50,6 +51,7 @@ class CreateDmaOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.create_dma";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b);
 };
@@ -63,6 +65,7 @@ class CreateMemOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.create_mem";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, const std::string &kind,
                                 std::vector<int64_t> shape,
@@ -88,6 +91,7 @@ class CreateStreamOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.create_stream";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, unsigned data_bits);
 };
@@ -97,6 +101,7 @@ class CreateCompOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.create_comp";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, const std::string &names,
                                 std::vector<ir::Value> subcomps);
@@ -107,6 +112,7 @@ class AddCompOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.add_comp";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value comp,
                                 const std::string &names,
@@ -121,6 +127,7 @@ class ExtractCompOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.extract_comp";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value comp,
                                 const std::string &prefix,
@@ -135,6 +142,7 @@ class GetCompOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.get_comp";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value comp,
                                 const std::string &name,
@@ -148,6 +156,7 @@ class CreateConnectionOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.create_connection";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, const std::string &kind,
                                 int64_t bandwidth_bytes_per_cycle);
@@ -163,6 +172,7 @@ class AllocOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.alloc";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value mem,
                                 std::vector<int64_t> shape,
@@ -175,6 +185,7 @@ class DeallocOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.dealloc";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value buffer);
 };
@@ -188,6 +199,7 @@ class ReadOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.read";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value buffer,
                                 ir::Value conn = ir::Value(),
@@ -207,6 +219,7 @@ class WriteOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.write";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value value,
                                 ir::Value buffer,
@@ -229,6 +242,7 @@ class StreamReadOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.stream_read";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value stream,
                                 int64_t elems, unsigned elem_bits,
@@ -241,6 +255,7 @@ class StreamWriteOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.stream_write";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value value,
                                 ir::Value stream,
@@ -256,6 +271,7 @@ class ControlStartOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.control_start";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b);
 };
@@ -265,6 +281,7 @@ class ControlAndOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.control_and";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b,
                                 std::vector<ir::Value> events);
@@ -275,6 +292,7 @@ class ControlOrOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.control_or";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b,
                                 std::vector<ir::Value> events);
@@ -289,6 +307,7 @@ class LaunchOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.launch";
+    EQ_DECLARE_OP_ID()
 
     /**
      * @param deps events this launch waits for (>= 1)
@@ -317,6 +336,7 @@ class MemcpyOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.memcpy";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value dep,
                                 ir::Value src, ir::Value dst, ir::Value dma,
@@ -340,6 +360,7 @@ class AwaitOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.await";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b,
                                 std::vector<ir::Value> events = {});
@@ -350,6 +371,7 @@ class ReturnOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.return";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b,
                                 std::vector<ir::Value> values = {});
@@ -367,6 +389,7 @@ class ExternOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "equeue.op";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b,
                                 const std::string &signature,

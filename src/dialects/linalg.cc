@@ -29,7 +29,7 @@ FillOp::build(ir::OpBuilder &b, ir::Value memref, int64_t value)
 ConvDims
 convDims(ir::Operation *conv)
 {
-    eq_assert(conv->name() == ConvOp::opName, "not a linalg.conv");
+    eq_assert(ir::isa<ConvOp>(conv), "not a linalg.conv");
     ir::Type it = conv->operand(0).type();
     ir::Type wt = conv->operand(1).type();
     ir::Type ot = conv->operand(2).type();

@@ -29,6 +29,7 @@ class ConvOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "linalg.conv";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value ifmap,
                                 ir::Value weight, ir::Value ofmap);
@@ -43,6 +44,7 @@ class MatmulOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "linalg.matmul";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value a, ir::Value bm,
                                 ir::Value c);
@@ -53,6 +55,7 @@ class FillOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "linalg.fill";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value memref,
                                 int64_t value);

@@ -18,6 +18,7 @@ class AllocOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "memref.alloc";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b,
                                 std::vector<int64_t> shape,
@@ -29,6 +30,7 @@ class DeallocOp : public ir::OpView {
   public:
     using OpView::OpView;
     static constexpr const char *opName = "memref.dealloc";
+    EQ_DECLARE_OP_ID()
 
     static ir::Operation *build(ir::OpBuilder &b, ir::Value memref);
 };

@@ -150,6 +150,29 @@ class OpView {
     Operation *_op = nullptr;
 };
 
+/**
+ * Declares `static ir::OpId id(ir::Context&)` on a dialect op view
+ * class, resolving the class's `opName` to its interned id through a
+ * per-context cache slot: one interning on first use per context, a
+ * plain vector index afterwards. Lets passes and the engine compare
+ * `op->opId() == FooOp::id(ctx)` without ever touching strings.
+ */
+#define EQ_DECLARE_OP_ID()                                                  \
+    static ::eq::ir::OpId                                                   \
+    id(::eq::ir::Context &ctx)                                              \
+    {                                                                       \
+        static const ::eq::ir::OpIdCache cache{opName};                     \
+        return cache.get(ctx);                                              \
+    }
+
+/** True when @p op is an instance of the dialect op class @p OpT. */
+template <typename OpT>
+inline bool
+isa(const Operation *op)
+{
+    return op && op->opId() == OpT::id(op->context());
+}
+
 } // namespace ir
 } // namespace eq
 

@@ -1,5 +1,7 @@
 #include "ir/context.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "base/logging.hh"
@@ -9,6 +11,67 @@ namespace ir {
 
 Context::Context() = default;
 Context::~Context() = default;
+
+// ---------------------------------------------------------------------------
+// Operation-name interning
+
+OpId
+Context::internOpName(std::string_view name)
+{
+    auto it = _opNameIds.find(name);
+    if (it != _opNameIds.end())
+        return OpId(it->second);
+    uint32_t raw = static_cast<uint32_t>(_opNamePool.size());
+    eq_assert(raw != OpId::kInvalidRaw, "op name pool exhausted");
+    _opNamePool.push_back(std::make_unique<std::string>(name));
+    _opInfos.emplace_back();
+    _opNameIds.emplace(std::string_view(*_opNamePool.back()), raw);
+    return OpId(raw);
+}
+
+OpId
+Context::lookupOpId(std::string_view name) const
+{
+    auto it = _opNameIds.find(name);
+    return it == _opNameIds.end() ? OpId() : OpId(it->second);
+}
+
+const std::string &
+Context::opName(OpId id) const
+{
+    eq_assert(id.valid() && id.raw() < _opNamePool.size(),
+              "opName of unknown OpId");
+    return *_opNamePool[id.raw()];
+}
+
+OpId
+Context::cachedOpId(unsigned slot, const char *name)
+{
+    if (slot >= _cachedOpIds.size())
+        _cachedOpIds.resize(slot + 1);
+    OpId &id = _cachedOpIds[slot];
+    if (!id.valid())
+        id = internOpName(name);
+    return id;
+}
+
+// ---------------------------------------------------------------------------
+// OpIdCache
+
+namespace {
+std::atomic<unsigned> g_nextOpIdCacheSlot{0};
+} // namespace
+
+OpIdCache::OpIdCache(const char *name)
+    : _slot(g_nextOpIdCacheSlot++), _name(name)
+{
+}
+
+OpId
+OpIdCache::get(Context &ctx) const
+{
+    return ctx.cachedOpId(_slot, _name);
+}
 
 Type
 Context::intern(TypeStorage st)
@@ -151,23 +214,34 @@ Context::anyType()
 void
 Context::registerOp(OpInfo info)
 {
-    _opRegistry[info.name] = std::move(info);
+    OpId id = internOpName(info.name);
+    _opInfos[id.raw()] = std::move(info);
 }
 
 const OpInfo *
-Context::lookupOp(const std::string &name) const
+Context::lookupOp(std::string_view name) const
 {
-    auto it = _opRegistry.find(name);
-    return it == _opRegistry.end() ? nullptr : &it->second;
+    return lookupOp(lookupOpId(name));
+}
+
+const OpInfo *
+Context::lookupOp(OpId id) const
+{
+    if (!id.valid() || id.raw() >= _opInfos.size())
+        return nullptr;
+    const OpInfo &info = _opInfos[id.raw()];
+    return info.name.empty() ? nullptr : &info;
 }
 
 std::vector<std::string>
 Context::registeredOpNames() const
 {
     std::vector<std::string> names;
-    names.reserve(_opRegistry.size());
-    for (const auto &[name, info] : _opRegistry)
-        names.push_back(name);
+    names.reserve(_opInfos.size());
+    for (const OpInfo &info : _opInfos)
+        if (!info.name.empty())
+            names.push_back(info.name);
+    std::sort(names.begin(), names.end());
     return names;
 }
 

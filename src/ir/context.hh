@@ -1,10 +1,14 @@
 /**
  * @file
- * The Context owns all interned type storage and the operation registry.
+ * The Context owns all interned type storage, the operation-name pool,
+ * and the operation registry.
  *
- * Every module and every operation belongs to exactly one Context. Dialects
- * register their operations (with verifier hooks) against it; the verifier
- * rejects unregistered operations unless allowUnregistered() is set.
+ * Every module and every operation belongs to exactly one Context. Op
+ * names are interned into dense OpIds (see ir/opid.hh) so that passes
+ * and the simulation engine compare integers, never strings. Dialects
+ * register their operations (with verifier hooks) against it; the
+ * verifier rejects unregistered operations unless allowUnregistered()
+ * is set.
  */
 
 #ifndef EQ_IR_CONTEXT_HH
@@ -12,11 +16,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "ir/opid.hh"
 #include "ir/type.hh"
 
 namespace eq {
@@ -63,10 +69,27 @@ class Context {
     Type anyType();
     /// @}
 
+    /// @name Operation-name interning
+    /// @{
+    /** Intern @p name; returns its dense OpId (idempotent). */
+    OpId internOpName(std::string_view name);
+    /** The id of an already-interned name; invalid OpId otherwise. */
+    OpId lookupOpId(std::string_view name) const;
+    /** Pooled name for @p id; the reference lives as long as the
+     *  Context (Operations alias it instead of owning a copy). */
+    const std::string &opName(OpId id) const;
+    /** Number of distinct interned names; ids are dense in
+     *  [0, numInternedOpNames()). */
+    size_t numInternedOpNames() const { return _opNamePool.size(); }
+    /** Resolve a per-class OpIdCache slot (see ir/opid.hh). */
+    OpId cachedOpId(unsigned slot, const char *name);
+    /// @}
+
     /** Register one operation kind; re-registration replaces. */
     void registerOp(OpInfo info);
     /** Look up registry info; nullptr when unregistered. */
-    const OpInfo *lookupOp(const std::string &name) const;
+    const OpInfo *lookupOp(std::string_view name) const;
+    const OpInfo *lookupOp(OpId id) const;
     /** Names of every registered op, in sorted order. Lets tests and
      *  tooling enumerate the registry (e.g. exhaustive round-trip
      *  coverage that fails automatically when a new op is added). */
@@ -76,16 +99,26 @@ class Context {
     bool allowUnregistered() const { return _allowUnregistered; }
     void setAllowUnregistered(bool v) { _allowUnregistered = v; }
 
-    /** Monotonic id source used for deterministic ordering. */
-    uint64_t nextOpId() { return _nextOpId++; }
+    /** Monotonic per-Operation id source used for deterministic
+     *  ordering (distinct from OpId, which identifies op *kinds*). */
+    uint64_t nextOperationId() { return _nextOperationId++; }
 
   private:
     Type intern(TypeStorage st);
 
     std::vector<std::unique_ptr<TypeStorage>> _typeStorage;
-    std::map<std::string, OpInfo> _opRegistry;
+    /** Interned op names; index == OpId::raw(). unique_ptr keeps the
+     *  string addresses stable across pool growth. */
+    std::vector<std::unique_ptr<std::string>> _opNamePool;
+    /** Name -> dense id; keys view into _opNamePool. */
+    std::unordered_map<std::string_view, uint32_t> _opNameIds;
+    /** Registry info, dense by OpId; an empty name means the id is
+     *  interned but the op kind is unregistered. */
+    std::vector<OpInfo> _opInfos;
+    /** OpIdCache slot -> resolved id for this context. */
+    std::vector<OpId> _cachedOpIds;
     bool _allowUnregistered = false;
-    uint64_t _nextOpId = 0;
+    uint64_t _nextOperationId = 0;
 };
 
 /** Register every dialect this project defines onto @p ctx. */

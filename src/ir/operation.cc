@@ -25,18 +25,20 @@ Value::replaceAllUsesWith(Value other) const
 // ---------------------------------------------------------------------------
 // Operation
 
-Operation::Operation(Context &ctx, std::string name)
-    : _ctx(&ctx), _name(std::move(name)), _id(ctx.nextOpId())
+Operation::Operation(Context &ctx, std::string_view name)
+    : _ctx(&ctx), _opId(ctx.internOpName(name)),
+      _id(ctx.nextOperationId())
 {
+    _name = &ctx.opName(_opId);
 }
 
 Operation *
-Operation::create(Context &ctx, std::string name,
+Operation::create(Context &ctx, std::string_view name,
                   std::vector<Type> result_types,
                   std::vector<Value> operands, AttrDict attrs,
                   unsigned num_regions)
 {
-    auto *op = new Operation(ctx, std::move(name));
+    auto *op = new Operation(ctx, name);
     op->_attrs = std::move(attrs);
     for (size_t i = 0; i < result_types.size(); ++i) {
         ValueImpl impl;
@@ -59,7 +61,7 @@ Operation::~Operation()
     // RAUW-ing before erasing. Dangling uses would corrupt the IR.
     for (auto &res : _results) {
         eq_assert(res.uses.empty(),
-                  "destroying op '", _name, "' with live uses");
+                  "destroying op '", name(), "' with live uses");
     }
     _regions.clear();
 }
@@ -82,22 +84,22 @@ Operation::dropOperands()
 std::string
 Operation::dialect() const
 {
-    auto dot = _name.find('.');
-    return dot == std::string::npos ? std::string() : _name.substr(0, dot);
+    auto dot = name().find('.');
+    return dot == std::string::npos ? std::string() : name().substr(0, dot);
 }
 
 std::string
 Operation::shortName() const
 {
-    auto dot = _name.find('.');
-    return dot == std::string::npos ? _name : _name.substr(dot + 1);
+    auto dot = name().find('.');
+    return dot == std::string::npos ? name() : name().substr(dot + 1);
 }
 
 Value
 Operation::operand(unsigned i) const
 {
     eq_assert(i < _operands.size(), "operand index ", i, " out of range in ",
-              _name);
+              name());
     return Value(_operands[i]);
 }
 
@@ -130,7 +132,7 @@ Operation::operands() const
 void
 Operation::appendOperand(Value v)
 {
-    eq_assert(v, "appending null operand to ", _name);
+    eq_assert(v, "appending null operand to ", name());
     unsigned idx = static_cast<unsigned>(_operands.size());
     _operands.push_back(v.impl());
     v.impl()->uses.emplace_back(this, idx);
@@ -163,7 +165,7 @@ Value
 Operation::result(unsigned i)
 {
     eq_assert(i < _results.size(), "result index ", i, " out of range in ",
-              _name);
+              name());
     return Value(&_results[i]);
 }
 
@@ -181,8 +183,8 @@ int64_t
 Operation::intAttr(const std::string &name) const
 {
     Attribute a = attr(name);
-    eq_assert(a && a.isInt(), "op '", _name, "' missing int attr '", name,
-              "'");
+    eq_assert(a && a.isInt(), "op '", this->name(), "' missing int attr '",
+              name, "'");
     return a.asInt();
 }
 
@@ -197,22 +199,22 @@ const std::string &
 Operation::strAttr(const std::string &name) const
 {
     Attribute a = attr(name);
-    eq_assert(a && a.isString(), "op '", _name, "' missing string attr '",
-              name, "'");
+    eq_assert(a && a.isString(), "op '", this->name(),
+              "' missing string attr '", name, "'");
     return a.asString();
 }
 
 Region &
 Operation::region(unsigned i)
 {
-    eq_assert(i < _regions.size(), "region index out of range in ", _name);
+    eq_assert(i < _regions.size(), "region index out of range in ", name());
     return *_regions[i];
 }
 
 const Region &
 Operation::region(unsigned i) const
 {
-    eq_assert(i < _regions.size(), "region index out of range in ", _name);
+    eq_assert(i < _regions.size(), "region index out of range in ", name());
     return *_regions[i];
 }
 
@@ -266,7 +268,7 @@ Operation::clone(std::map<ValueImpl *, Value> &mapping) const
         operands.push_back(it != mapping.end() ? it->second
                                                : Value(impl));
     }
-    Operation *copy = Operation::create(*_ctx, _name, result_types,
+    Operation *copy = Operation::create(*_ctx, name(), result_types,
                                         operands, _attrs,
                                         static_cast<unsigned>(
                                             _regions.size()));
@@ -309,16 +311,16 @@ Operation::verify()
     // Structural checks first.
     for (unsigned i = 0; i < _operands.size(); ++i) {
         if (!_operands[i])
-            return "op '" + _name + "' has null operand";
+            return "op '" + name() + "' has null operand";
     }
-    const OpInfo *info = _ctx->lookupOp(_name);
+    const OpInfo *info = _ctx->lookupOp(_opId);
     if (!info) {
         if (!_ctx->allowUnregistered())
-            return "unregistered operation '" + _name + "'";
+            return "unregistered operation '" + name() + "'";
     } else if (info->verify) {
         std::string err = info->verify(this);
         if (!err.empty())
-            return "op '" + _name + "': " + err;
+            return "op '" + name() + "': " + err;
     }
     // Verify nested ops.
     for (auto &region : _regions) {

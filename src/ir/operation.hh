@@ -42,7 +42,7 @@ class Operation {
      * @param attrs attribute dictionary
      * @param num_regions number of (initially empty) regions
      */
-    static Operation *create(Context &ctx, std::string name,
+    static Operation *create(Context &ctx, std::string_view name,
                              std::vector<Type> result_types,
                              std::vector<Value> operands,
                              AttrDict attrs = {},
@@ -54,11 +54,16 @@ class Operation {
     Operation &operator=(const Operation &) = delete;
 
     Context &context() const { return *_ctx; }
-    const std::string &name() const { return _name; }
+    /** Full op name; aliases the context's interned pool. */
+    const std::string &name() const { return *_name; }
+    /** Interned identity of the op *kind* (see ir/opid.hh). Compare and
+     *  table-index with this instead of comparing name() strings. */
+    OpId opId() const { return _opId; }
     /** Dialect prefix of the name ("equeue" of "equeue.launch"). */
     std::string dialect() const;
     /** Name with the dialect prefix stripped. */
     std::string shortName() const;
+    /** Per-instance monotonic id (deterministic ordering aid). */
     uint64_t id() const { return _id; }
 
     /// @name Operands
@@ -143,13 +148,14 @@ class Operation {
     void setBlock(Block *b) { _block = b; }
 
   private:
-    Operation(Context &ctx, std::string name);
+    Operation(Context &ctx, std::string_view name);
 
     /** Drop all operand uses (called by erase/destructor). */
     void dropOperands();
 
     Context *_ctx;
-    std::string _name;
+    const std::string *_name; ///< pooled; owned by the Context
+    OpId _opId;
     uint64_t _id;
     std::vector<ValueImpl *> _operands; ///< non-owning
     std::deque<ValueImpl> _results;     ///< owned, address-stable

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Interned operation identity.
+ *
+ * Every distinct operation name ("equeue.launch", "arith.addi", ...) is
+ * interned once per Context into a dense small-integer OpId. Hot code
+ * (the simulation engine's dispatch table, pass pattern matching)
+ * compares and indexes by OpId instead of comparing strings; the pooled
+ * name string remains available for printing and diagnostics.
+ *
+ * OpIds are dense per Context: ids count up from 0 in interning order,
+ * so a table indexed by OpId::raw() covers every op kind a module can
+ * contain. Ids from different Contexts must not be mixed.
+ */
+
+#ifndef EQ_IR_OPID_HH
+#define EQ_IR_OPID_HH
+
+#include <cstdint>
+
+namespace eq {
+namespace ir {
+
+class Context;
+
+/** Dense per-context identifier for an operation name. */
+class OpId {
+  public:
+    static constexpr uint32_t kInvalidRaw = 0xffffffffu;
+
+    constexpr OpId() = default;
+    constexpr explicit OpId(uint32_t raw) : _raw(raw) {}
+
+    /** The dense integer; usable as a table index when valid(). */
+    constexpr uint32_t raw() const { return _raw; }
+    constexpr bool valid() const { return _raw != kInvalidRaw; }
+    constexpr explicit operator bool() const { return valid(); }
+
+    friend constexpr bool
+    operator==(OpId a, OpId b)
+    {
+        return a._raw == b._raw;
+    }
+    friend constexpr bool
+    operator!=(OpId a, OpId b)
+    {
+        return a._raw != b._raw;
+    }
+    friend constexpr bool
+    operator<(OpId a, OpId b)
+    {
+        return a._raw < b._raw;
+    }
+
+  private:
+    uint32_t _raw = kInvalidRaw;
+};
+
+/**
+ * Per-op-class cache handle resolving an op name to its OpId in
+ * amortised constant time (one interning on first use per Context,
+ * a vector index afterwards — no hashing).
+ *
+ * Each OpIdCache instance claims a process-wide slot; every Context
+ * keeps a slot-indexed vector of resolved ids. Dialect op classes
+ * instantiate one cache each via EQ_DECLARE_OP_ID in their headers.
+ */
+class OpIdCache {
+  public:
+    explicit OpIdCache(const char *name);
+
+    /** The id of this cache's op name in @p ctx. */
+    OpId get(Context &ctx) const;
+
+  private:
+    unsigned _slot;
+    const char *_name;
+};
+
+} // namespace ir
+} // namespace eq
+
+#endif // EQ_IR_OPID_HH

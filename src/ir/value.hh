@@ -31,6 +31,14 @@ struct ValueImpl {
     unsigned index = 0;          ///< result index or argument index
     std::vector<std::pair<Operation *, unsigned>> uses;
     std::string nameHint;        ///< optional printing hint
+
+    /** Dense value-numbering scratch used by interpreting consumers
+     *  (the simulation engine): @ref interpScope identifies the
+     *  numbering scope (an interpreted block tree), @ref interpSlot the
+     *  value's slot within that scope's environment vector. Assigned at
+     *  region entry by the consumer; 0/0 means "not yet numbered". */
+    uint32_t interpScope = 0;
+    uint32_t interpSlot = 0;
 };
 
 /** A lightweight SSA value handle. */

@@ -5,8 +5,10 @@
  */
 
 #include "base/logging.hh"
+#include "base/stringutil.hh"
 #include "dialects/affine.hh"
 #include "dialects/equeue.hh"
+#include "dialects/memref.hh"
 #include "ir/builder.hh"
 #include "passes/passes.hh"
 
@@ -21,12 +23,11 @@ EQueueReadWritePass::runOnModule(ir::Operation *module)
 {
     std::vector<ir::Operation *> worklist;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == affine::LoadOp::opName ||
-            op->name() == affine::StoreOp::opName)
+        if (ir::isa<affine::LoadOp>(op) || ir::isa<affine::StoreOp>(op))
             worklist.push_back(op);
     });
     for (ir::Operation *op : worklist) {
-        bool is_store = op->name() == affine::StoreOp::opName;
+        bool is_store = ir::isa<affine::StoreOp>(op);
         Value memref = is_store ? affine::StoreOp(op).memref()
                                 : affine::LoadOp(op).memref();
         if (!memref.type().isBuffer())
@@ -79,7 +80,7 @@ ReassignBufferPass::runOnModule(ir::Operation *module)
     // whole-buffer accesses on the (typically element-sized) new buffer.
     auto uses = from_buf.uses();
     for (auto &[user, idx] : uses) {
-        if (user->name() == equeue::ReadOp::opName && !same_rank) {
+        if (ir::isa<equeue::ReadOp>(user) && !same_rank) {
             equeue::ReadOp rd(user);
             OpBuilder b(user->context());
             b.setInsertionPoint(user);
@@ -99,8 +100,7 @@ ReassignBufferPass::runOnModule(ir::Operation *module)
                 user->result(0).replaceAllUsesWith(new_read->result(0));
             }
             user->erase();
-        } else if (user->name() == equeue::WriteOp::opName &&
-                   !same_rank) {
+        } else if (ir::isa<equeue::WriteOp>(user) && !same_rank) {
             equeue::WriteOp wr(user);
             OpBuilder b(user->context());
             b.setInsertionPoint(user);
@@ -130,12 +130,11 @@ LaunchPass::runOnModule(ir::Operation *module)
     // Everything outside the structure prologue moves into the launch.
     std::vector<ir::Operation *> to_move;
     for (ir::Operation *op : top) {
-        const std::string &n = op->name();
-        bool structural = n.find("equeue.create_") == 0 ||
-                          n == equeue::AllocOp::opName ||
-                          n == equeue::AddCompOp::opName ||
-                          n == equeue::GetCompOp::opName ||
-                          n == "memref.alloc";
+        bool structural = startsWith(op->name(), "equeue.create_") ||
+                          ir::isa<equeue::AllocOp>(op) ||
+                          ir::isa<equeue::AddCompOp>(op) ||
+                          ir::isa<equeue::GetCompOp>(op) ||
+                          ir::isa<memref::AllocOp>(op);
         if (!structural)
             to_move.push_back(op);
     }

@@ -142,11 +142,11 @@ ConvertLinalgToAffinePass::runOnModule(ir::Operation *module)
             worklist.push_back(op);
     });
     for (ir::Operation *op : worklist) {
-        if (op->name() == linalg::ConvOp::opName)
+        if (ir::isa<linalg::ConvOp>(op))
             lowerConv(op);
-        else if (op->name() == linalg::FillOp::opName)
+        else if (ir::isa<linalg::FillOp>(op))
             lowerFill(op);
-        else if (op->name() == linalg::MatmulOp::opName)
+        else if (ir::isa<linalg::MatmulOp>(op))
             lowerMatmul(op);
         else
             return "unsupported linalg op '" + op->name() + "'";

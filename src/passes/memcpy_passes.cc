@@ -43,8 +43,7 @@ MemcpyPass::runOnModule(ir::Operation *module)
         // Anyone already awaiting the launch should await the copy too.
         auto uses = launch->result(0).uses();
         for (auto &[user, idx] : uses) {
-            if (user->name() == equeue::AwaitOp::opName &&
-                user != cp.op())
+            if (ir::isa<equeue::AwaitOp>(user) && user != cp.op())
                 user->setOperand(idx, cp->result(0));
         }
     }
@@ -56,7 +55,7 @@ MemcpyToLaunchPass::runOnModule(ir::Operation *module)
 {
     std::vector<ir::Operation *> worklist;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == equeue::MemcpyOp::opName)
+        if (ir::isa<equeue::MemcpyOp>(op))
             worklist.push_back(op);
     });
     for (ir::Operation *op : worklist) {
@@ -94,7 +93,7 @@ MergeMemcpyLaunchPass::runOnModule(ir::Operation *module)
     // of its body (read src, write dst), gated on %d instead of %e.
     std::vector<ir::Operation *> memcpys;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == equeue::MemcpyOp::opName)
+        if (ir::isa<equeue::MemcpyOp>(op))
             memcpys.push_back(op);
     });
     for (ir::Operation *mc_op : memcpys) {
@@ -103,7 +102,7 @@ MergeMemcpyLaunchPass::runOnModule(ir::Operation *module)
         // captures its destination buffer.
         ir::Operation *target = nullptr;
         for (auto &[user, idx] : mc_op->result(0).uses()) {
-            if (user->name() != equeue::LaunchOp::opName)
+            if (!ir::isa<equeue::LaunchOp>(user))
                 continue;
             equeue::LaunchOp l(user);
             if (idx >= l.numDeps())

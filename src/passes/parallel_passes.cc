@@ -21,7 +21,7 @@ ParallelToEQueuePass::runOnModule(ir::Operation *module)
 {
     std::vector<ir::Operation *> worklist;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == affine::ParallelOp::opName &&
+        if (ir::isa<affine::ParallelOp>(op) &&
             op->attr("eq.proc_prefix"))
             worklist.push_back(op);
     });
@@ -66,7 +66,7 @@ ParallelToEQueuePass::runOnModule(ir::Operation *module)
                                 .impl()] = cst->result(0);
                 }
                 for (ir::Operation *inner : par.body()) {
-                    if (inner->name() == affine::YieldOp::opName)
+                    if (ir::isa<affine::YieldOp>(inner))
                         continue;
                     b.insert(inner->clone(mapping));
                 }
@@ -104,7 +104,7 @@ LowerExtractionPass::runOnModule(ir::Operation *module)
 {
     std::vector<ir::Operation *> worklist;
     module->walk([&](ir::Operation *op) {
-        if (op->name() == equeue::ExtractCompOp::opName)
+        if (ir::isa<equeue::ExtractCompOp>(op))
             worklist.push_back(op);
     });
     for (ir::Operation *op : worklist) {
@@ -129,7 +129,7 @@ CoalesceLoopsPass::runOnModule(ir::Operation *module)
         changed = false;
         ir::Operation *target = nullptr;
         module->walk([&](ir::Operation *op) {
-            if (!target && op->name() == affine::ForOp::opName &&
+            if (!target && ir::isa<affine::ForOp>(op) &&
                 op->attr("eq.coalesce"))
                 target = op;
         });
@@ -139,7 +139,7 @@ CoalesceLoopsPass::runOnModule(ir::Operation *module)
         // Perfect nest check: body = [inner for, yield].
         ir::Block &obody = outer.body();
         if (obody.size() != 2 ||
-            obody.front()->name() != affine::ForOp::opName)
+            !ir::isa<affine::ForOp>(obody.front()))
             return "eq.coalesce target is not a perfect 2-nest";
         affine::ForOp inner(obody.front());
         if (outer.lb() != 0 || inner.lb() != 0 || outer.step() != 1 ||
@@ -168,7 +168,7 @@ CoalesceLoopsPass::runOnModule(ir::Operation *module)
             inner.inductionVar().replaceAllUsesWith(iv);
             std::vector<ir::Operation *> to_move;
             for (ir::Operation *op : inner.body())
-                if (op->name() != affine::YieldOp::opName)
+                if (!ir::isa<affine::YieldOp>(op))
                     to_move.push_back(op);
             for (ir::Operation *op : to_move)
                 op->moveToEnd(&f.body());

@@ -94,7 +94,7 @@ splitLaunch(ir::Operation *launch_op)
         ir::Operation *orig_return = nullptr;
         if (last) {
             orig_return = segments[s].back();
-            if (orig_return->name() != equeue::ReturnOp::opName)
+            if (!ir::isa<equeue::ReturnOp>(orig_return))
                 orig_return = nullptr;
             if (orig_return) {
                 ret_types.clear();
@@ -111,7 +111,7 @@ splitLaunch(ir::Operation *launch_op)
         for (ir::Operation *op : segments[s]) {
             if (last && op == orig_return)
                 continue;
-            if (!last && op->name() == equeue::ReturnOp::opName)
+            if (!last && ir::isa<equeue::ReturnOp>(op))
                 continue;
             op->remove();
             nl.body().push_back(op);
@@ -170,7 +170,7 @@ SplitLaunchPass::runOnModule(ir::Operation *module)
 {
     std::vector<ir::Operation *> launches;
     module->walk([&](ir::Operation *op) {
-        if (op->name() != equeue::LaunchOp::opName)
+        if (!ir::isa<equeue::LaunchOp>(op))
             return;
         bool has_split = false;
         for (auto &block : op->region(0))

@@ -80,33 +80,52 @@ simulate(const Config &cfg)
 
     int64_t peak_write_elems = 0;
 
-    for (int64_t fr = 0; fr < folds_r; ++fr) {
-        int64_t r_eff = std::min<int64_t>(cfg.ah, d1 - fr * cfg.ah);
-        for (int64_t fc = 0; fc < folds_c; ++fc) {
-            int64_t c_eff = std::min<int64_t>(cfg.aw, d2 - fc * cfg.aw);
+    // The fold space is piecewise-uniform: every interior fold is a
+    // full Ah x Aw tile; only the tail row-fold and tail column-fold
+    // are ragged. Accumulate per distinct (r_eff, c_eff) combination
+    // scaled by its multiplicity — at most 4 combinations — instead of
+    // walking every fold (large sweeps hit millions of folds).
+    const int64_t full_r = d1 / cfg.ah;
+    const int64_t tail_r = d1 - full_r * cfg.ah; // 0 when d1 divides
+    const int64_t full_c = d2 / cfg.aw;
+    const int64_t tail_c = d2 - full_c * cfg.aw;
+    struct Span {
+        int64_t eff, count;
+    };
+    const Span rows[2] = {{cfg.ah, full_r}, {tail_r, tail_r > 0 ? 1 : 0}};
+    const Span cols[2] = {{cfg.aw, full_c}, {tail_c, tail_c > 0 ? 1 : 0}};
+
+    for (const Span &rs : rows) {
+        for (const Span &cs : cols) {
+            const int64_t n = rs.count * cs.count;
+            if (n == 0)
+                continue;
+            const int64_t r_eff = rs.eff;
+            const int64_t c_eff = cs.eff;
             // Stationary preload streams r_eff x c_eff values through an
             // Aw-wide port.
             int64_t preload =
                 preloads ? (r_eff * c_eff + cfg.aw - 1) / cfg.aw : 0;
-            r.cycles += static_cast<uint64_t>(preload + t + skew);
+            r.cycles += static_cast<uint64_t>(n) *
+                        static_cast<uint64_t>(preload + t + skew);
 
             switch (cfg.dataflow) {
               case Dataflow::WS:
-                r.sramIfmapReadBytes += t * r_eff * eb;  // col-0 stream
-                r.sramWeightReadBytes += r_eff * c_eff * eb; // preload
-                r.sramOfmapWriteBytes += t * c_eff * eb; // bottom row
+                r.sramIfmapReadBytes += n * t * r_eff * eb; // col-0 stream
+                r.sramWeightReadBytes += n * r_eff * c_eff * eb; // preload
+                r.sramOfmapWriteBytes += n * t * c_eff * eb; // bottom row
                 peak_write_elems = std::max(peak_write_elems, c_eff);
                 break;
               case Dataflow::IS:
-                r.sramWeightReadBytes += t * r_eff * eb; // col-0 stream
-                r.sramIfmapReadBytes += r_eff * c_eff * eb; // preload
-                r.sramOfmapWriteBytes += t * c_eff * eb; // bottom row
+                r.sramWeightReadBytes += n * t * r_eff * eb; // col-0 strm
+                r.sramIfmapReadBytes += n * r_eff * c_eff * eb; // preload
+                r.sramOfmapWriteBytes += n * t * c_eff * eb; // bottom row
                 peak_write_elems = std::max(peak_write_elems, c_eff);
                 break;
               case Dataflow::OS:
-                r.sramIfmapReadBytes += t * r_eff * eb;  // col-0 stream
-                r.sramWeightReadBytes += t * c_eff * eb; // row-0 stream
-                r.sramOfmapWriteBytes += t * r_eff * eb; // last column
+                r.sramIfmapReadBytes += n * t * r_eff * eb; // col-0 strm
+                r.sramWeightReadBytes += n * t * c_eff * eb; // row-0 strm
+                r.sramOfmapWriteBytes += n * t * r_eff * eb; // last col
                 peak_write_elems = std::max(peak_write_elems, r_eff);
                 break;
             }

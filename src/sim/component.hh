@@ -17,17 +17,20 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "base/logging.hh"
 #include "sim/simvalue.hh"
 
 namespace eq {
 namespace sim {
 
 using Cycles = uint64_t;
+
+enum class CostClass : uint8_t; // resolved processor class, costmodel.hh
 
 /** Base of every modeled hardware entity; nodes of the hierarchy tree. */
 class Component {
@@ -39,10 +42,17 @@ class Component {
     void setName(std::string n) { _name = std::move(n); }
 
     Component *parent() const { return _parent; }
+    /** Attach @p child under @p child_name. Names must be unique within
+     *  a parent: re-adding an existing name is rejected loudly instead
+     *  of silently overwriting (which would leave the old child with a
+     *  dangling _parent and an unreachable entry in the hierarchy). */
     void
     addChild(const std::string &child_name, Component *child)
     {
-        _children[child_name] = child;
+        auto [it, inserted] = _children.emplace(child_name, child);
+        (void)it;
+        eq_assert(inserted, "component '", _name,
+                  "' already has a child named '", child_name, "'");
         child->_parent = this;
         child->setName(child_name);
     }
@@ -52,7 +62,7 @@ class Component {
         auto it = _children.find(child_name);
         return it == _children.end() ? nullptr : it->second;
     }
-    const std::map<std::string, Component *> &
+    const std::unordered_map<std::string, Component *> &
     children() const
     {
         return _children;
@@ -64,7 +74,9 @@ class Component {
   private:
     std::string _name;
     Component *_parent = nullptr;
-    std::map<std::string, Component *> _children;
+    /** Hashed: child lookup is on the engine's elaboration path and is
+     *  never iterated for output (no ordering requirement). */
+    std::unordered_map<std::string, Component *> _children;
 };
 
 /**
@@ -178,6 +190,10 @@ class Processor : public Device {
     {}
 
     const std::string &kind() const { return _kind; }
+    /** The kind's resolved cost class; computed once, then cached so
+     *  the engine's per-op cost lookup never touches the kind string
+     *  (defined in costmodel.cc). */
+    CostClass costClass() const;
 
     /// @name Event queue
     /// @{
@@ -200,6 +216,7 @@ class Processor : public Device {
     bool _busy = false;
     Cycles _busyCycles = 0;
     uint64_t _opsExecuted = 0;
+    mutable int8_t _costClassCache = -1; ///< lazily resolved CostClass
 };
 
 /** A DMA engine: a processor specialised for data movement. */
@@ -379,7 +396,7 @@ class ComponentFactory {
                                        unsigned banks) const;
 
   private:
-    std::map<std::string, MemoryMaker> _memoryKinds;
+    std::unordered_map<std::string, MemoryMaker> _memoryKinds;
 };
 
 } // namespace sim

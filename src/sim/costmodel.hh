@@ -14,6 +14,11 @@
  *    one cycle, stream/register moves are issued by dedicated units
  *    (free to the core).
  *  - "DMA": only executes memcpy; its timing is bandwidth-derived.
+ *
+ * Kind strings are resolved once into a CostClass; the engine then
+ * precomputes a dense (CostClass, OpId) -> cycles table per run, so the
+ * per-event hot path never compares strings (only dynamically shaped
+ * Linalg costs fall back to linalgCycles).
  */
 
 #ifndef EQ_SIM_COSTMODEL_HH
@@ -27,10 +32,35 @@
 namespace eq {
 namespace sim {
 
+/** Resolved processor cost class (see file comment). Forward-declared
+ *  in component.hh so Processor can cache its class. */
+enum class CostClass : uint8_t {
+    Root = 0, ///< the host orchestration processor: everything is free
+    Scalar,   ///< ARMr5 / ARMr6 / Generic scalar cores
+    MAC,      ///< systolic processing element
+    AIEngine, ///< VLIW SIMD core
+    DMA,      ///< data-movement engine
+    Other,    ///< unknown kinds: behave like scalar cores
+};
+constexpr unsigned kNumCostClasses = 6;
+
 /** Static cost model resolving (processor kind, op) -> cycles. */
 class CostModel {
   public:
-    /** Processor occupancy in cycles for interpreting @p op. */
+    /** Sentinel for ops whose cost depends on operand shapes; resolve
+     *  via linalgCycles(op) at execution time. */
+    static constexpr Cycles kDynamic = ~Cycles(0);
+
+    /** Resolve a processor kind string to its cost class. */
+    static CostClass classify(const std::string &proc_kind);
+
+    /** Cycles for @p op_name on @p cls, or kDynamic when the cost is
+     *  shape-dependent. String-based: call at table-build time only. */
+    static Cycles staticOpCycles(CostClass cls, const std::string &op_name);
+
+    /** Processor occupancy in cycles for interpreting @p op.
+     *  Convenience wrapper over classify + staticOpCycles +
+     *  linalgCycles; the engine uses its precomputed table instead. */
     static Cycles opCycles(const std::string &proc_kind,
                            ir::Operation *op);
 

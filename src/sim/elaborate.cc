@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Handlers for structure ops: elaboration of the modeled hardware
+ * hierarchy (processors, memories, DMAs, connections, streams,
+ * composite components) and buffer allocation. These run at zero cost —
+ * they describe hardware, they do not execute on it (§III-A).
+ */
+
+#include "base/stringutil.hh"
+#include "dialects/equeue.hh"
+#include "dialects/memref.hh"
+#include "sim/engine_impl.hh"
+
+namespace eq {
+namespace sim {
+
+BlockExec::Step
+BlockExec::execCreateProc(ir::Operation *op, Cycles &now)
+{
+    (void)now;
+    auto proc = std::make_unique<Processor>(
+        _eng.freshName("proc"), equeue::CreateProcOp(op).kind());
+    bind(op->result(0), SimValue::ofComponent(proc.get()));
+    _eng.components.push_back(std::move(proc));
+    return advanceFree();
+}
+
+BlockExec::Step
+BlockExec::execCreateDma(ir::Operation *op, Cycles &now)
+{
+    (void)now;
+    auto dma = std::make_unique<Dma>(_eng.freshName("dma"));
+    bind(op->result(0), SimValue::ofComponent(dma.get()));
+    _eng.components.push_back(std::move(dma));
+    return advanceFree();
+}
+
+BlockExec::Step
+BlockExec::execCreateMem(ir::Operation *op, Cycles &now)
+{
+    (void)now;
+    equeue::CreateMemOp mem_op(op);
+    auto mem = _eng.factory.makeMemory(
+        mem_op.kind(), _eng.freshName("mem"), mem_op.shape(),
+        mem_op.dataBits(), mem_op.banks());
+    bind(op->result(0), SimValue::ofComponent(mem.get()));
+    _eng.components.push_back(std::move(mem));
+    return advanceFree();
+}
+
+BlockExec::Step
+BlockExec::execCreateStream(ir::Operation *op, Cycles &now)
+{
+    (void)now;
+    auto fifo = std::make_unique<StreamFifo>(
+        _eng.freshName("stream"),
+        static_cast<unsigned>(op->intAttrOr("data_bits", 32)));
+    bind(op->result(0), SimValue::ofStream(fifo.get()));
+    _eng.components.push_back(std::move(fifo));
+    return advanceFree();
+}
+
+BlockExec::Step
+BlockExec::execCreateConnection(ir::Operation *op, Cycles &now)
+{
+    (void)now;
+    equeue::CreateConnectionOp conn_op(op);
+    auto conn = std::make_unique<Connection>(
+        _eng.freshName("conn"), conn_op.kind(), conn_op.bandwidth());
+    bind(op->result(0), SimValue::ofConnection(conn.get()));
+    _eng.components.push_back(std::move(conn));
+    return advanceFree();
+}
+
+BlockExec::Step
+BlockExec::execCreateOrAddComp(ir::Operation *op, Cycles &now)
+{
+    (void)now;
+    bool is_add = op->opId() == _eng.idAddComp;
+    Component *comp;
+    unsigned first_sub = 0;
+    if (is_add) {
+        comp = eval(op->operand(0)).asComponent();
+        first_sub = 1;
+    } else {
+        auto owned = std::make_unique<Component>(_eng.freshName("comp"));
+        comp = owned.get();
+        _eng.components.push_back(std::move(owned));
+    }
+    std::vector<std::string> names = split(op->strAttr("names"), ' ');
+    for (unsigned i = first_sub; i < op->numOperands(); ++i) {
+        SimValue sub = eval(op->operand(i));
+        Component *child = sub.isStream()
+                               ? static_cast<Component *>(sub.asStream())
+                               : sub.asComponent();
+        comp->addChild(names[i - first_sub], child);
+    }
+    if (!is_add)
+        bind(op->result(0), SimValue::ofComponent(comp));
+    return advanceFree();
+}
+
+BlockExec::Step
+BlockExec::execGetComp(ir::Operation *op, Cycles &now)
+{
+    (void)now;
+    Component *comp = eval(op->operand(0)).asComponent();
+    std::string child_name =
+        op->opId() == _eng.idExtractComp
+            ? equeue::ExtractCompOp(op).resolvedName()
+            : op->strAttr("name");
+    Component *child = comp->child(child_name);
+    if (!child)
+        eq_fatal("get_comp: no subcomponent named '", child_name, "' in ",
+                 comp->path());
+    bind(op->result(0), SimValue::ofComponent(child));
+    return advanceFree();
+}
+
+BlockExec::Step
+BlockExec::execAlloc(ir::Operation *op, Cycles &now)
+{
+    (void)now;
+    ir::Type bt = op->result(0).type();
+    auto buf = std::make_unique<BufferObj>();
+    buf->data = Tensor::zeros(bt.shape(), bt.elemBits());
+    if (op->opId() == _eng.idEqueueAlloc)
+        buf->mem =
+            static_cast<Memory *>(eval(op->operand(0)).asComponent());
+    buf->label = _eng.freshName("buf");
+    bind(op->result(0), SimValue::ofBuffer(buf.get()));
+    _eng.buffers.push_back(std::move(buf));
+    return advanceFree();
+}
+
+BlockExec::Step
+BlockExec::execDealloc(ir::Operation *op, Cycles &now)
+{
+    (void)op;
+    (void)now;
+    return advanceFree();
+}
+
+} // namespace sim
+} // namespace eq

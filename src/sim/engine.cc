@@ -1,1160 +1,18 @@
-#include "sim/engine.hh"
+/**
+ * @file
+ * The Simulator facade: run setup (reset, dispatch-table build, root
+ * environment), the run loop, and report generation. The engine's
+ * moving parts live in event_core.cc / elaborate.cc / interp.cc /
+ * handlers.cc (see engine_impl.hh for the map).
+ */
+
+#include "sim/engine_impl.hh"
 
 #include <algorithm>
 #include <chrono>
-#include <queue>
-
-#include "base/logging.hh"
-#include "base/stringutil.hh"
-#include "dialects/affine.hh"
-#include "dialects/arith.hh"
-#include "dialects/equeue.hh"
-#include "dialects/linalg.hh"
-#include "dialects/memref.hh"
-#include "sim/costmodel.hh"
 
 namespace eq {
 namespace sim {
-
-namespace {
-
-/** Chained value environment; launch bodies link to their creator's. */
-struct Env {
-    std::map<ir::ValueImpl *, SimValue> vals;
-    std::shared_ptr<Env> parent;
-
-    const SimValue *
-    find(ir::ValueImpl *v) const
-    {
-        auto it = vals.find(v);
-        if (it != vals.end())
-            return &it->second;
-        return parent ? parent->find(v) : nullptr;
-    }
-};
-
-using EnvPtr = std::shared_ptr<Env>;
-
-} // namespace
-
-/** A scheduled/executing event (§III-D): launch, memcpy, or control. */
-struct Event {
-    enum class Kind { Start, And, Or, Launch, Memcpy };
-
-    EventId id = 0;
-    Kind kind = Kind::Start;
-    std::vector<EventId> deps;
-
-    // Launch / memcpy payload.
-    ir::Operation *op = nullptr;
-    Processor *proc = nullptr;
-    EnvPtr creatorEnv;
-    // Memcpy payload (resolved at creation).
-    BufferObj *src = nullptr;
-    BufferObj *dst = nullptr;
-    Connection *conn = nullptr;
-
-    bool done = false;
-    bool issueSubscribed = false;
-    Cycles createdAt = 0;
-    Cycles startTime = 0;
-    Cycles doneTime = 0;
-    std::vector<SimValue> results;
-    std::vector<std::function<void(Cycles)>> onDone;
-};
-
-class BlockExec;
-
-struct Simulator::Impl {
-    EngineOptions opts;
-    Trace traceData;
-    OpFunctionRegistry opFns;
-    ComponentFactory factory;
-
-    // --- per-run state ------------------------------------------------
-    std::vector<std::unique_ptr<Component>> components;
-    std::vector<std::unique_ptr<BufferObj>> buffers;
-    std::vector<std::unique_ptr<Event>> events;
-    std::vector<std::unique_ptr<BlockExec>> execs;
-    std::map<StreamFifo *, std::vector<std::function<void()>>>
-        streamWaiters;
-    std::unique_ptr<Processor> rootProc;
-
-    struct HeapItem {
-        Cycles t;
-        uint64_t seq;
-        std::function<void()> fn;
-        bool
-        operator>(const HeapItem &o) const
-        {
-            return std::tie(t, seq) > std::tie(o.t, o.seq);
-        }
-    };
-    std::priority_queue<HeapItem, std::vector<HeapItem>,
-                        std::greater<HeapItem>>
-        heap;
-    uint64_t seqCounter = 0;
-    Cycles now = 0;
-    Cycles endTime = 0;
-    uint64_t eventsExecuted = 0;
-    uint64_t opsExecuted = 0;
-    std::map<std::string, int> nameCounters;
-
-    // --- helpers ------------------------------------------------------
-
-    void
-    reset()
-    {
-        components.clear();
-        buffers.clear();
-        events.clear();
-        execs.clear();
-        streamWaiters.clear();
-        while (!heap.empty())
-            heap.pop();
-        seqCounter = 0;
-        now = 0;
-        endTime = 0;
-        eventsExecuted = 0;
-        opsExecuted = 0;
-        nameCounters.clear();
-        traceData.clear();
-        rootProc = std::make_unique<Processor>("host", "Root");
-    }
-
-    std::string
-    freshName(const std::string &base)
-    {
-        int n = nameCounters[base]++;
-        return base + std::to_string(n);
-    }
-
-    void
-    scheduleAt(Cycles t, std::function<void()> fn)
-    {
-        heap.push({t, seqCounter++, std::move(fn)});
-    }
-
-    void
-    noteActivity(Cycles t)
-    {
-        endTime = std::max(endTime, t);
-    }
-
-    Event *
-    newEvent(Event::Kind kind, Cycles t)
-    {
-        auto ev = std::make_unique<Event>();
-        ev->id = events.size();
-        ev->kind = kind;
-        ev->createdAt = t;
-        events.push_back(std::move(ev));
-        return events.back().get();
-    }
-
-    Event *
-    event(EventId id)
-    {
-        eq_assert(id < events.size(), "bad event id");
-        return events[id].get();
-    }
-
-    void
-    completeEvent(Event *ev, Cycles t)
-    {
-        eq_assert(!ev->done, "event completed twice");
-        ev->done = true;
-        ev->doneTime = t;
-        noteActivity(t);
-        ++eventsExecuted;
-        auto callbacks = std::move(ev->onDone);
-        ev->onDone.clear();
-        for (auto &cb : callbacks)
-            cb(t);
-    }
-
-    /** Invoke @p fn(max completion time) once all of @p ids are done. */
-    void
-    whenAllDone(const std::vector<EventId> &ids,
-                std::function<void(Cycles)> fn)
-    {
-        auto state = std::make_shared<std::pair<size_t, Cycles>>(0, 0);
-        for (EventId id : ids) {
-            Event *ev = event(id);
-            if (ev->done)
-                state->second = std::max(state->second, ev->doneTime);
-            else
-                ++state->first;
-        }
-        if (state->first == 0) {
-            fn(state->second);
-            return;
-        }
-        auto shared_fn =
-            std::make_shared<std::function<void(Cycles)>>(std::move(fn));
-        for (EventId id : ids) {
-            Event *ev = event(id);
-            if (ev->done)
-                continue;
-            ev->onDone.push_back([state, shared_fn](Cycles t) {
-                state->second = std::max(state->second, t);
-                if (--state->first == 0)
-                    (*shared_fn)(state->second);
-            });
-        }
-    }
-
-    /** Invoke @p fn(first completion time) once any of @p ids is done. */
-    void
-    whenAnyDone(const std::vector<EventId> &ids,
-                std::function<void(Cycles)> fn)
-    {
-        for (EventId id : ids) {
-            if (event(id)->done) {
-                fn(event(id)->doneTime);
-                return;
-            }
-        }
-        auto fired = std::make_shared<bool>(false);
-        auto shared_fn =
-            std::make_shared<std::function<void(Cycles)>>(std::move(fn));
-        for (EventId id : ids) {
-            event(id)->onDone.push_back([fired, shared_fn](Cycles t) {
-                if (!*fired) {
-                    *fired = true;
-                    (*shared_fn)(t);
-                }
-            });
-        }
-    }
-
-    void enqueueOnProcessor(Event *ev, Cycles t);
-    void tryIssue(Processor *proc, Cycles t);
-    void issueLaunch(Event *ev, Cycles t);
-    void issueMemcpy(Event *ev, Cycles t);
-    void notifyStream(StreamFifo *fifo);
-
-    void
-    recordTrace(const std::string &op_name, Processor *proc, Cycles start,
-                Cycles dur, const char *cat = "operation")
-    {
-        if (!traceData.enabled())
-            return;
-        TraceEvent e;
-        e.name = op_name;
-        e.cat = cat;
-        e.pid = proc->parent() ? proc->parent()->path() : "top";
-        e.tid = proc->name();
-        e.ts = start;
-        e.dur = dur;
-        traceData.record(e);
-    }
-
-    /** Bulk-transfer occupancy of a memory: words striped over banks. */
-    static Cycles
-    bulkMemCycles(Memory *mem, int64_t words, bool is_write)
-    {
-        Cycles per = mem->getReadOrWriteCycles(is_write, words);
-        unsigned banks = std::max(1u, mem->numQueues());
-        return (per + banks - 1) / banks;
-    }
-
-    SimReport buildReport(double wall_seconds) const;
-    void runHeap();
-};
-
-// ---------------------------------------------------------------------------
-// BlockExec: suspended interpretation of one code block
-
-/**
- * Interprets one block (the module top level or a launch body) on a
- * processor. Executes ops in order; 0-cost ops run inline, timed ops
- * suspend via the engine heap; blocking ops (await, stream reads, queue
- * stalls) subscribe to wakeups.
- */
-class BlockExec {
-  public:
-    BlockExec(Simulator::Impl &eng, Event *ev, Processor *proc,
-              ir::Block *block, EnvPtr env)
-        : _eng(eng), _event(ev), _proc(proc), _env(std::move(env))
-    {
-        _frames.push_back(Frame{block, block->begin(), nullptr, 0, {}});
-    }
-
-    void
-    start(Cycles t)
-    {
-        resume(t);
-    }
-
-    /** Re-enter interpretation at simulation time @p t. */
-    void resume(Cycles t);
-
-  private:
-    struct Frame {
-        ir::Block *block;
-        ir::Block::iterator it;
-        ir::Operation *loop; ///< owning affine.for/parallel, if any
-        int64_t iv;          ///< affine.for induction value
-        std::vector<int64_t> ivs; ///< affine.parallel induction values
-    };
-
-    enum class Step { Continue, Suspend, Finished };
-
-    Step dispatch(ir::Operation *op, Cycles &now);
-    Step handleLoopEnd(Cycles &now);
-    void finish(Cycles t);
-
-    SimValue
-    eval(ir::Value v) const
-    {
-        const SimValue *s = _env->find(v.impl());
-        eq_assert(s, "use of value with no runtime binding (op '",
-                  v.definingOp() ? v.definingOp()->name() : "blockarg",
-                  "'): likely a missing event dependency");
-        return *s;
-    }
-
-    void
-    bind(ir::Value v, SimValue s)
-    {
-        _env->vals[v.impl()] = std::move(s);
-    }
-
-    /**
-     * Account for an op that occupies the processor from @p start for
-     * @p cycles. Advances the instruction pointer; suspends when the op
-     * ends later than @p now.
-     */
-    Step
-    advanceAfter(ir::Operation *op, Cycles now, Cycles start, Cycles cycles)
-    {
-        Cycles end = start + cycles;
-        if (_proc) {
-            _proc->recordBusy(cycles);
-            _proc->recordOp();
-        }
-        if (start > now && _proc)
-            _eng.recordTrace("stall", _proc, now, start - now, "stall");
-        if (cycles > 0 && _proc)
-            _eng.recordTrace(traceLabel(op), _proc, start, cycles);
-        _eng.noteActivity(end);
-        ++_frames.back().it;
-        if (end > now) {
-            _eng.scheduleAt(end, [this, end] { resume(end); });
-            return Step::Suspend;
-        }
-        return Step::Continue;
-    }
-
-    static std::string
-    traceLabel(ir::Operation *op)
-    {
-        if (op->name() == equeue::ExternOp::opName)
-            return op->strAttr("signature");
-        return op->name();
-    }
-
-    Simulator::Impl &_eng;
-    Event *_event;    ///< null for the module top level
-    Processor *_proc; ///< executing processor (root proc at top level)
-    EnvPtr _env;
-    std::vector<Frame> _frames;
-    std::vector<EventId> _spawned;
-    bool _finished = false;
-};
-
-void
-BlockExec::resume(Cycles t)
-{
-    eq_assert(!_finished, "resuming finished block");
-    Cycles now = t;
-    _eng.now = std::max(_eng.now, t);
-    while (true) {
-        if (_frames.empty()) {
-            finish(now);
-            return;
-        }
-        Frame &f = _frames.back();
-        if (f.it == f.block->end()) {
-            Step s = handleLoopEnd(now);
-            if (s == Step::Finished) {
-                finish(now);
-                return;
-            }
-            continue;
-        }
-        ir::Operation *op = *f.it;
-        if (++_eng.opsExecuted > _eng.opts.maxOps)
-            eq_fatal("interpreted op budget exceeded (", _eng.opts.maxOps,
-                     "); runaway program?");
-        Step s = dispatch(op, now);
-        if (s == Step::Suspend)
-            return;
-        if (s == Step::Finished) {
-            finish(now);
-            return;
-        }
-    }
-}
-
-/** Loop bookkeeping when the instruction pointer hits the block end. */
-BlockExec::Step
-BlockExec::handleLoopEnd(Cycles &now)
-{
-    (void)now;
-    Frame &f = _frames.back();
-    if (!f.loop) {
-        // Top frame of the launch body / module: we are done.
-        return Step::Finished;
-    }
-    if (f.loop->name() == affine::ForOp::opName) {
-        affine::ForOp loop(f.loop);
-        f.iv += loop.step();
-        if (f.iv < loop.ub()) {
-            bind(loop.inductionVar(), SimValue::ofInt(f.iv));
-            f.it = f.block->begin();
-            return Step::Continue;
-        }
-    } else if (f.loop->name() == affine::ParallelOp::opName) {
-        affine::ParallelOp loop(f.loop);
-        auto ubs = loop.ubs();
-        auto steps = loop.steps();
-        // Lexicographic increment of the induction vector.
-        int dim = static_cast<int>(f.ivs.size()) - 1;
-        while (dim >= 0) {
-            f.ivs[dim] += steps[dim];
-            if (f.ivs[dim] < ubs[dim])
-                break;
-            f.ivs[dim] = loop.lbs()[dim];
-            --dim;
-        }
-        if (dim >= 0) {
-            for (size_t i = 0; i < f.ivs.size(); ++i)
-                bind(f.block->argument(static_cast<unsigned>(i)),
-                     SimValue::ofInt(f.ivs[i]));
-            f.it = f.block->begin();
-            return Step::Continue;
-        }
-    }
-    // Loop exhausted: pop the frame and advance past the loop op in the
-    // parent frame.
-    _frames.pop_back();
-    eq_assert(!_frames.empty(), "loop frame without parent");
-    ++_frames.back().it;
-    return Step::Continue;
-}
-
-BlockExec::Step
-BlockExec::dispatch(ir::Operation *op, Cycles &now)
-{
-    const std::string &name = op->name();
-    ir::Context &ctx = op->context();
-    const std::string &kind = _proc ? _proc->kind() : "Root";
-    Cycles cost = CostModel::opCycles(kind, op);
-
-    // ---- structure ops -------------------------------------------------
-    if (name == equeue::CreateProcOp::opName) {
-        auto proc = std::make_unique<Processor>(
-            _eng.freshName("proc"), equeue::CreateProcOp(op).kind());
-        bind(op->result(0), SimValue::ofComponent(proc.get()));
-        _eng.components.push_back(std::move(proc));
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-    if (name == equeue::CreateDmaOp::opName) {
-        auto dma = std::make_unique<Dma>(_eng.freshName("dma"));
-        bind(op->result(0), SimValue::ofComponent(dma.get()));
-        _eng.components.push_back(std::move(dma));
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-    if (name == equeue::CreateMemOp::opName) {
-        equeue::CreateMemOp mem_op(op);
-        auto mem = _eng.factory.makeMemory(
-            mem_op.kind(), _eng.freshName("mem"), mem_op.shape(),
-            mem_op.dataBits(), mem_op.banks());
-        bind(op->result(0), SimValue::ofComponent(mem.get()));
-        _eng.components.push_back(std::move(mem));
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-    if (name == equeue::CreateStreamOp::opName) {
-        auto fifo = std::make_unique<StreamFifo>(
-            _eng.freshName("stream"),
-            static_cast<unsigned>(op->intAttrOr("data_bits", 32)));
-        bind(op->result(0), SimValue::ofStream(fifo.get()));
-        _eng.components.push_back(std::move(fifo));
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-    if (name == equeue::CreateConnectionOp::opName) {
-        equeue::CreateConnectionOp conn_op(op);
-        auto conn = std::make_unique<Connection>(
-            _eng.freshName("conn"), conn_op.kind(), conn_op.bandwidth());
-        bind(op->result(0), SimValue::ofConnection(conn.get()));
-        _eng.components.push_back(std::move(conn));
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-    if (name == equeue::CreateCompOp::opName ||
-        name == equeue::AddCompOp::opName) {
-        bool is_add = name == equeue::AddCompOp::opName;
-        Component *comp;
-        unsigned first_sub = 0;
-        if (is_add) {
-            comp = eval(op->operand(0)).asComponent();
-            first_sub = 1;
-        } else {
-            auto owned =
-                std::make_unique<Component>(_eng.freshName("comp"));
-            comp = owned.get();
-            _eng.components.push_back(std::move(owned));
-        }
-        std::vector<std::string> names = split(op->strAttr("names"), ' ');
-        for (unsigned i = first_sub; i < op->numOperands(); ++i) {
-            SimValue sub = eval(op->operand(i));
-            Component *child = sub.isStream()
-                                   ? static_cast<Component *>(
-                                         sub.asStream())
-                                   : sub.asComponent();
-            comp->addChild(names[i - first_sub], child);
-        }
-        if (!is_add)
-            bind(op->result(0), SimValue::ofComponent(comp));
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-    if (name == equeue::GetCompOp::opName ||
-        name == equeue::ExtractCompOp::opName) {
-        Component *comp = eval(op->operand(0)).asComponent();
-        std::string child_name =
-            name == equeue::GetCompOp::opName
-                ? op->strAttr("name")
-                : equeue::ExtractCompOp(op).resolvedName();
-        Component *child = comp->child(child_name);
-        if (!child)
-            eq_fatal("get_comp: no subcomponent named '", child_name,
-                     "' in ", comp->path());
-        bind(op->result(0), SimValue::ofComponent(child));
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-
-    // ---- allocation ----------------------------------------------------
-    if (name == equeue::AllocOp::opName ||
-        name == memref::AllocOp::opName) {
-        ir::Type bt = op->result(0).type();
-        auto buf = std::make_unique<BufferObj>();
-        buf->data = Tensor::zeros(bt.shape(), bt.elemBits());
-        if (name == equeue::AllocOp::opName)
-            buf->mem = static_cast<Memory *>(
-                eval(op->operand(0)).asComponent());
-        buf->label = _eng.freshName("buf");
-        bind(op->result(0), SimValue::ofBuffer(buf.get()));
-        _eng.buffers.push_back(std::move(buf));
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-    if (name == equeue::DeallocOp::opName ||
-        name == memref::DeallocOp::opName) {
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-
-    // ---- scalar compute ------------------------------------------------
-    if (name == arith::ConstantOp::opName) {
-        ir::Attribute v = op->attr("value");
-        bind(op->result(0), v.kind() == ir::AttrKind::Float
-                                ? SimValue::ofFloat(v.asFloat())
-                                : SimValue::ofInt(v.asInt()));
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-    if (startsWith(name, "arith.")) {
-        SimValue lhs = eval(op->operand(0));
-        SimValue rhs = eval(op->operand(1));
-        SimValue res;
-        if (name == "arith.addi")
-            res = SimValue::ofInt(lhs.asInt() + rhs.asInt());
-        else if (name == "arith.subi")
-            res = SimValue::ofInt(lhs.asInt() - rhs.asInt());
-        else if (name == "arith.muli")
-            res = SimValue::ofInt(lhs.asInt() * rhs.asInt());
-        else if (name == "arith.divsi")
-            res = SimValue::ofInt(rhs.asInt() == 0
-                                      ? 0
-                                      : lhs.asInt() / rhs.asInt());
-        else if (name == "arith.remsi")
-            res = SimValue::ofInt(rhs.asInt() == 0
-                                      ? 0
-                                      : lhs.asInt() % rhs.asInt());
-        else if (name == "arith.addf")
-            res = SimValue::ofFloat(lhs.asFloat() + rhs.asFloat());
-        else if (name == "arith.mulf")
-            res = SimValue::ofFloat(lhs.asFloat() * rhs.asFloat());
-        else
-            eq_fatal("unsupported arith op '", name, "'");
-        bind(op->result(0), res);
-        return advanceAfter(op, now, now, cost);
-    }
-
-    // ---- affine control flow & memory ops --------------------------------
-    if (name == affine::ForOp::opName) {
-        affine::ForOp loop(op);
-        if (loop.lb() >= loop.ub()) {
-            ++_frames.back().it;
-            return Step::Continue;
-        }
-        bind(loop.inductionVar(), SimValue::ofInt(loop.lb()));
-        _frames.push_back(
-            Frame{&loop.body(), loop.body().begin(), op, loop.lb(), {}});
-        return Step::Continue;
-    }
-    if (name == affine::ParallelOp::opName) {
-        affine::ParallelOp loop(op);
-        auto lbs = loop.lbs();
-        auto ubs = loop.ubs();
-        bool empty = lbs.empty();
-        for (size_t i = 0; i < lbs.size(); ++i)
-            if (lbs[i] >= ubs[i])
-                empty = true;
-        if (empty) {
-            ++_frames.back().it;
-            return Step::Continue;
-        }
-        for (size_t i = 0; i < lbs.size(); ++i)
-            bind(loop.body().argument(static_cast<unsigned>(i)),
-                 SimValue::ofInt(lbs[i]));
-        _frames.push_back(
-            Frame{&loop.body(), loop.body().begin(), op, 0, lbs});
-        return Step::Continue;
-    }
-    if (name == affine::YieldOp::opName) {
-        // Loop back-edge: charge the cost, then fall off the block end.
-        return advanceAfter(op, now, now, cost);
-    }
-    if (name == affine::LoadOp::opName ||
-        name == affine::StoreOp::opName) {
-        bool is_store = name == affine::StoreOp::opName;
-        affine::LoadOp load(op);
-        affine::StoreOp store(op);
-        BufferObj *buf =
-            eval(is_store ? store.memref() : load.memref()).asBuffer();
-        auto idx_vals = is_store ? store.indices() : load.indices();
-        std::vector<int64_t> idx;
-        for (ir::Value v : idx_vals)
-            idx.push_back(eval(v).asInt());
-        int64_t off = buf->data->offset(idx);
-        Cycles start = now;
-        if (buf->mem) {
-            Cycles occ = buf->mem->getReadOrWriteCycles(is_store, 1);
-            start = buf->mem->acquire(now, occ);
-            buf->mem->recordAccess(is_store,
-                                   (buf->data->elemBits + 7) / 8);
-        }
-        if (is_store)
-            buf->data->data[off] = eval(store.value()).asInt();
-        else
-            bind(op->result(0), SimValue::ofInt(buf->data->data[off]));
-        return advanceAfter(op, now, start, cost);
-    }
-
-    // ---- linalg ops ------------------------------------------------------
-    if (startsWith(name, "linalg.")) {
-        // Root-level orchestration (e.g. filling test inputs) is free;
-        // only modeled processors pay the analytic cost.
-        Cycles cycles = cost;
-        if (name == linalg::ConvOp::opName) {
-            linalg::ConvOp conv(op);
-            BufferObj *ib = eval(conv.ifmap()).asBuffer();
-            BufferObj *wb = eval(conv.weight()).asBuffer();
-            BufferObj *ob = eval(conv.ofmap()).asBuffer();
-            auto d = linalg::convDims(op);
-            // Functional semantics.
-            auto at3 = [](BufferObj *b, int64_t i, int64_t j,
-                          int64_t k) -> int64_t & {
-                auto &sh = b->data->shape;
-                return b->data->data[(i * sh[1] + j) * sh[2] + k];
-            };
-            for (int64_t n = 0; n < d.N; ++n)
-                for (int64_t eh = 0; eh < d.Eh; ++eh)
-                    for (int64_t ew = 0; ew < d.Ew; ++ew) {
-                        int64_t acc = at3(ob, n, eh, ew);
-                        for (int64_t c = 0; c < d.C; ++c)
-                            for (int64_t fh = 0; fh < d.Fh; ++fh)
-                                for (int64_t fw = 0; fw < d.Fw; ++fw) {
-                                    int64_t iv =
-                                        at3(ib, c, eh + fh, ew + fw);
-                                    auto &wsh = wb->data->shape;
-                                    int64_t wv = wb->data->data
-                                        [((n * wsh[1] + c) * wsh[2] + fh) *
-                                             wsh[3] +
-                                         fw];
-                                    acc += iv * wv;
-                                }
-                        at3(ob, n, eh, ew) = acc;
-                    }
-            // Analytic memory traffic: per MAC, read ifmap+weight+ofmap
-            // and write ofmap once per accumulation chain.
-            int64_t word = 4;
-            if (ib->mem)
-                ib->mem->recordAccess(false, d.macs() * word);
-            if (wb->mem)
-                wb->mem->recordAccess(false, d.macs() * word);
-            if (ob->mem) {
-                ob->mem->recordAccess(false, d.macs() * word);
-                ob->mem->recordAccess(true, d.macs() * word);
-            }
-        } else if (name == linalg::FillOp::opName) {
-            linalg::FillOp fill(op);
-            BufferObj *b = eval(op->operand(0)).asBuffer();
-            std::fill(b->data->data.begin(), b->data->data.end(),
-                      fill.fillValue());
-            if (b->mem)
-                b->mem->recordAccess(true, b->sizeBytes());
-        } else if (name == linalg::MatmulOp::opName) {
-            BufferObj *a = eval(op->operand(0)).asBuffer();
-            BufferObj *bm = eval(op->operand(1)).asBuffer();
-            BufferObj *c = eval(op->operand(2)).asBuffer();
-            auto &as = a->data->shape;
-            auto &bs = bm->data->shape;
-            for (int64_t i = 0; i < as[0]; ++i)
-                for (int64_t j = 0; j < bs[1]; ++j) {
-                    int64_t acc = c->data->data[i * bs[1] + j];
-                    for (int64_t k = 0; k < as[1]; ++k)
-                        acc += a->data->data[i * as[1] + k] *
-                               bm->data->data[k * bs[1] + j];
-                    c->data->data[i * bs[1] + j] = acc;
-                }
-        }
-        return advanceAfter(op, now, now, cycles);
-    }
-
-    // ---- EQueue data movement ---------------------------------------------
-    if (name == equeue::ReadOp::opName) {
-        equeue::ReadOp read(op);
-        BufferObj *buf = eval(read.buffer()).asBuffer();
-        Connection *conn =
-            read.hasConn() ? eval(read.conn()).asConnection() : nullptr;
-        auto idx_vals = read.indices();
-        Cycles start = now;
-        int64_t bytes;
-        if (idx_vals.empty()) {
-            auto copy = std::make_shared<Tensor>(*buf->data);
-            bytes = copy->sizeBytes();
-            bind(op->result(0), SimValue::ofTensor(copy));
-        } else {
-            std::vector<int64_t> idx;
-            for (ir::Value v : idx_vals)
-                idx.push_back(eval(v).asInt());
-            bytes = (buf->data->elemBits + 7) / 8;
-            bind(op->result(0),
-                 SimValue::ofInt(buf->data->data[buf->data->offset(idx)]));
-        }
-        int64_t words = idx_vals.empty() ? buf->data->numElements() : 1;
-        if (buf->mem) {
-            Cycles occ = buf->mem->getReadOrWriteCycles(false, words);
-            start = std::max(start, buf->mem->acquire(now, occ));
-            buf->mem->recordAccess(false, bytes);
-        }
-        if (conn) {
-            Cycles c = conn->transferCycles(bytes);
-            Cycles cstart = conn->acquireChannel(true, start, c);
-            conn->recordTransfer(true, cstart, cstart + std::max<Cycles>(c, 1),
-                                 bytes);
-            _eng.noteActivity(cstart + c); // link busy past proc time
-            start = std::max(start, cstart);
-        }
-        return advanceAfter(op, now, start, cost);
-    }
-    if (name == equeue::WriteOp::opName) {
-        equeue::WriteOp write(op);
-        BufferObj *buf = eval(write.buffer()).asBuffer();
-        Connection *conn =
-            write.hasConn() ? eval(write.conn()).asConnection() : nullptr;
-        SimValue val = eval(write.value());
-        auto idx_vals = write.indices();
-        int64_t bytes;
-        if (idx_vals.empty() && val.isTensor()) {
-            auto src = val.asTensor();
-            int64_t n = std::min(src->numElements(),
-                                 buf->data->numElements());
-            std::copy_n(src->data.begin(), n, buf->data->data.begin());
-            bytes = n * ((buf->data->elemBits + 7) / 8);
-        } else if (!idx_vals.empty()) {
-            std::vector<int64_t> idx;
-            for (ir::Value v : idx_vals)
-                idx.push_back(eval(v).asInt());
-            buf->data->data[buf->data->offset(idx)] = val.asInt();
-            bytes = (buf->data->elemBits + 7) / 8;
-        } else {
-            // Scalar into rank-0/1 buffer: write element 0.
-            buf->data->data[0] = val.asInt();
-            bytes = (buf->data->elemBits + 7) / 8;
-        }
-        Cycles start = now;
-        int64_t words = idx_vals.empty() && val.isTensor()
-                            ? val.asTensor()->numElements()
-                            : 1;
-        if (buf->mem) {
-            Cycles occ = buf->mem->getReadOrWriteCycles(true, words);
-            start = std::max(start, buf->mem->acquire(now, occ));
-            buf->mem->recordAccess(true, bytes);
-        }
-        if (conn) {
-            Cycles c = conn->transferCycles(bytes);
-            Cycles cstart = conn->acquireChannel(false, start, c);
-            conn->recordTransfer(false, cstart,
-                                 cstart + std::max<Cycles>(c, 1), bytes);
-            _eng.noteActivity(cstart + c); // link busy past proc time
-            start = std::max(start, cstart);
-        }
-        return advanceAfter(op, now, start, cost);
-    }
-    if (name == equeue::StreamReadOp::opName) {
-        StreamFifo *fifo = eval(op->operand(0)).asStream();
-        size_t elems = static_cast<size_t>(op->intAttr("elems"));
-        Cycles ready = fifo->readyTime(elems);
-        if (ready == StreamFifo::kNoReadyTime) {
-            // Not enough elements yet: wake when the producer pushes.
-            _eng.streamWaiters[fifo].push_back([this] {
-                // Re-dispatch the same op at the engine's current time.
-                resume(_eng.now);
-            });
-            return Step::Suspend;
-        }
-        if (ready > now) {
-            _eng.scheduleAt(ready, [this, ready] { resume(ready); });
-            return Step::Suspend;
-        }
-        auto vals = fifo->pop(elems);
-        auto tensor = Tensor::zeros({static_cast<int64_t>(elems)},
-                                    fifo->dataBits());
-        tensor->data = std::move(vals);
-        bind(op->result(0), SimValue::ofTensor(tensor));
-        // The reader-side connection records bytes for profiling, but the
-        // arrival rate was already shaped by the producer (§VII-E).
-        if (equeue::StreamReadOp(op).hasConn()) {
-            Connection *conn = eval(op->operand(1)).asConnection();
-            int64_t bytes = tensor->sizeBytes();
-            conn->recordTransfer(
-                true, now,
-                now + std::max<Cycles>(conn->transferCycles(bytes), 1),
-                bytes);
-        }
-        return advanceAfter(op, now, now, cost);
-    }
-    if (name == equeue::StreamWriteOp::opName) {
-        StreamFifo *fifo = eval(op->operand(1)).asStream();
-        SimValue val = eval(op->operand(0));
-        std::vector<int64_t> elems;
-        if (val.isTensor())
-            elems = val.asTensor()->data;
-        else
-            elems.push_back(val.asInt());
-        int64_t bytes =
-            static_cast<int64_t>(elems.size()) * ((fifo->dataBits() + 7) / 8);
-        Cycles avail = now;
-        if (equeue::StreamWriteOp(op).hasConn()) {
-            Connection *conn = eval(op->operand(2)).asConnection();
-            Cycles c = conn->transferCycles(bytes);
-            Cycles cstart = conn->acquireChannel(false, now, c);
-            conn->recordTransfer(false, cstart,
-                                 cstart + std::max<Cycles>(c, 1), bytes);
-            avail = cstart + c;
-        }
-        for (int64_t v : elems)
-            fifo->push(v, avail);
-        _eng.noteActivity(avail);
-        _eng.notifyStream(fifo);
-        return advanceAfter(op, now, now, cost);
-    }
-
-    // ---- EQueue events ------------------------------------------------------
-    if (name == equeue::ControlStartOp::opName) {
-        Event *ev = _eng.newEvent(Event::Kind::Start, now);
-        _eng.completeEvent(ev, now);
-        bind(op->result(0), SimValue::ofEvent(ev->id));
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-    if (name == equeue::ControlAndOp::opName ||
-        name == equeue::ControlOrOp::opName) {
-        bool is_and = name == equeue::ControlAndOp::opName;
-        Event *ev = _eng.newEvent(is_and ? Event::Kind::And
-                                         : Event::Kind::Or,
-                                  now);
-        std::vector<EventId> deps;
-        for (ir::Value v : op->operands())
-            deps.push_back(eval(v).asEvent());
-        ev->deps = deps;
-        bind(op->result(0), SimValue::ofEvent(ev->id));
-        Event *evp = ev;
-        auto done = [this, evp](Cycles t) {
-            _eng.completeEvent(evp, t);
-        };
-        if (is_and)
-            _eng.whenAllDone(deps, done);
-        else
-            _eng.whenAnyDone(deps, done);
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-    if (name == equeue::LaunchOp::opName) {
-        equeue::LaunchOp launch(op);
-        Event *ev = _eng.newEvent(Event::Kind::Launch, now);
-        for (ir::Value d : launch.deps())
-            ev->deps.push_back(eval(d).asEvent());
-        ev->op = op;
-        ev->proc = static_cast<Processor *>(
-            eval(launch.proc()).asComponent());
-        ev->creatorEnv = _env;
-        bind(op->result(0), SimValue::ofEvent(ev->id));
-        _spawned.push_back(ev->id);
-        _eng.enqueueOnProcessor(ev, now);
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-    if (name == equeue::MemcpyOp::opName) {
-        equeue::MemcpyOp mc(op);
-        Event *ev = _eng.newEvent(Event::Kind::Memcpy, now);
-        ev->deps.push_back(eval(mc.dep()).asEvent());
-        ev->op = op;
-        ev->proc = static_cast<Processor *>(
-            eval(mc.dma()).asComponent());
-        ev->src = eval(mc.src()).asBuffer();
-        ev->dst = eval(mc.dst()).asBuffer();
-        if (mc.hasConn())
-            ev->conn = eval(mc.conn()).asConnection();
-        ev->creatorEnv = _env;
-        bind(op->result(0), SimValue::ofEvent(ev->id));
-        _spawned.push_back(ev->id);
-        _eng.enqueueOnProcessor(ev, now);
-        ++_frames.back().it;
-        return Step::Continue;
-    }
-    if (name == equeue::AwaitOp::opName) {
-        std::vector<EventId> ids;
-        if (op->numOperands() == 0) {
-            ids = _spawned;
-        } else {
-            for (ir::Value v : op->operands())
-                ids.push_back(eval(v).asEvent());
-        }
-        bool all_done = true;
-        Cycles max_t = now;
-        for (EventId id : ids) {
-            Event *ev = _eng.event(id);
-            if (!ev->done)
-                all_done = false;
-            else
-                max_t = std::max(max_t, ev->doneTime);
-        }
-        ++_frames.back().it;
-        if (all_done) {
-            now = std::max(now, max_t);
-            return Step::Continue;
-        }
-        _eng.whenAllDone(ids, [this, now](Cycles t) {
-            resume(std::max(now, t));
-        });
-        return Step::Suspend;
-    }
-    if (name == equeue::ReturnOp::opName) {
-        if (_event) {
-            for (ir::Value v : op->operands())
-                _event->results.push_back(eval(v));
-        }
-        return Step::Finished;
-    }
-    if (name == equeue::ExternOp::opName) {
-        OpCall call;
-        call.op = op;
-        call.proc = _proc;
-        for (ir::Value v : op->operands())
-            call.args.push_back(eval(v));
-        OpFnResult r =
-            _eng.opFns.invoke(op->strAttr("signature"), call);
-        eq_assert(r.results.size() >= op->numResults(),
-                  "op function returned too few results for '",
-                  op->strAttr("signature"), "'");
-        for (unsigned i = 0; i < op->numResults(); ++i)
-            bind(op->result(i), r.results[i]);
-        Cycles cycles = std::max(cost, r.cycles);
-        return advanceAfter(op, now, now, cycles);
-    }
-    if (name == "builtin.module") {
-        // Nested module: execute its body inline.
-        _frames.push_back(Frame{&op->region(0).front(),
-                                op->region(0).front().begin(), nullptr, 0,
-                                {}});
-        (void)ctx;
-        return Step::Continue;
-    }
-
-    eq_fatal("simulation engine cannot interpret op '", name, "'");
-}
-
-void
-BlockExec::finish(Cycles t)
-{
-    if (_finished)
-        return;
-    _finished = true;
-    _eng.noteActivity(t);
-    if (!_event)
-        return; // module top level
-    // Publish launch results into the creator environment so later
-    // consumers (e.g. follow-up launches capturing them) can resolve.
-    ir::Operation *op = _event->op;
-    for (unsigned i = 1; i < op->numResults(); ++i) {
-        eq_assert(_event->results.size() >= op->numResults() - 1,
-                  "launch body returned too few values");
-        _event->creatorEnv->vals[op->result(i).impl()] =
-            _event->results[i - 1];
-    }
-    Processor *proc = _proc;
-    _eng.completeEvent(_event, t);
-    proc->setBusy(false);
-    Simulator::Impl &eng = _eng;
-    eng.scheduleAt(t, [&eng, proc, t] { eng.tryIssue(proc, t); });
-}
-
-// ---------------------------------------------------------------------------
-// Impl: processor issue logic
-
-void
-Simulator::Impl::enqueueOnProcessor(Event *ev, Cycles t)
-{
-    ev->proc->queue().push_back(ev);
-    scheduleAt(t, [this, proc = ev->proc, t] { tryIssue(proc, t); });
-}
-
-void
-Simulator::Impl::tryIssue(Processor *proc, Cycles t)
-{
-    if (proc->busy() || proc->queue().empty())
-        return;
-    Event *head = proc->queue().front();
-    // All dependencies must be complete before the head may issue
-    // (head-of-line blocking, as in Fig. 5).
-    std::vector<EventId> undone;
-    Cycles dep_time = t;
-    for (EventId id : head->deps) {
-        Event *dep = event(id);
-        if (!dep->done)
-            undone.push_back(id);
-        else
-            dep_time = std::max(dep_time, dep->doneTime);
-    }
-    if (!undone.empty()) {
-        if (!head->issueSubscribed) {
-            head->issueSubscribed = true;
-            whenAllDone(undone, [this, proc](Cycles done_t) {
-                scheduleAt(done_t, [this, proc, done_t] {
-                    tryIssue(proc, done_t);
-                });
-            });
-        }
-        return;
-    }
-    proc->queue().pop_front();
-    proc->setBusy(true);
-    head->issueSubscribed = false;
-    head->startTime = dep_time;
-    if (head->kind == Event::Kind::Launch)
-        issueLaunch(head, dep_time);
-    else
-        issueMemcpy(head, dep_time);
-}
-
-void
-Simulator::Impl::issueLaunch(Event *ev, Cycles t)
-{
-    equeue::LaunchOp launch(ev->op);
-    auto env = std::make_shared<Env>();
-    env->parent = ev->creatorEnv;
-    // Resolve captured values now (lazy capture: results of earlier
-    // events are published by the time our dependencies are done).
-    auto captured = launch.captured();
-    ir::Block &body = launch.body();
-    for (size_t i = 0; i < captured.size(); ++i) {
-        const SimValue *sv = ev->creatorEnv->find(captured[i].impl());
-        eq_assert(sv, "launch captures value that is not yet computed; "
-                      "add an event dependency");
-        env->vals[body.argument(static_cast<unsigned>(i)).impl()] = *sv;
-    }
-    auto exec = std::make_unique<BlockExec>(*this, ev, ev->proc, &body,
-                                            std::move(env));
-    BlockExec *raw = exec.get();
-    execs.push_back(std::move(exec));
-    raw->start(t);
-}
-
-void
-Simulator::Impl::issueMemcpy(Event *ev, Cycles t)
-{
-    BufferObj *src = ev->src;
-    BufferObj *dst = ev->dst;
-    int64_t words =
-        std::min(src->data->numElements(), dst->data->numElements());
-    int64_t bytes = words * ((src->data->elemBits + 7) / 8);
-
-    Cycles dur = 1;
-    if (src->mem)
-        dur = std::max(dur, bulkMemCycles(src->mem, words, false));
-    if (dst->mem)
-        dur = std::max(dur, bulkMemCycles(dst->mem, words, true));
-    Cycles start = t;
-    if (ev->conn) {
-        Cycles c = ev->conn->transferCycles(bytes);
-        dur = std::max(dur, c);
-        start = ev->conn->acquireChannel(false, t, dur);
-        ev->conn->recordTransfer(false, start, start + dur, bytes);
-    }
-    // Copy now; data is considered valid once the event completes.
-    std::copy_n(src->data->data.begin(), words, dst->data->data.begin());
-    if (src->mem)
-        src->mem->recordAccess(false, bytes);
-    if (dst->mem)
-        dst->mem->recordAccess(true, bytes);
-
-    Processor *proc = ev->proc;
-    proc->recordBusy(dur);
-    proc->recordOp();
-    recordTrace("equeue.memcpy", proc, start, dur);
-    Cycles end = start + dur;
-    scheduleAt(end, [this, ev, proc, end] {
-        completeEvent(ev, end);
-        proc->setBusy(false);
-        tryIssue(proc, end);
-    });
-}
-
-void
-Simulator::Impl::notifyStream(StreamFifo *fifo)
-{
-    auto it = streamWaiters.find(fifo);
-    if (it == streamWaiters.end())
-        return;
-    auto waiters = std::move(it->second);
-    streamWaiters.erase(it);
-    for (auto &w : waiters)
-        scheduleAt(now, std::move(w));
-}
-
-void
-Simulator::Impl::runHeap()
-{
-    while (!heap.empty()) {
-        HeapItem item = heap.top();
-        heap.pop();
-        eq_assert(item.t >= now, "time went backwards in the scheduler");
-        now = item.t;
-        item.fn();
-    }
-}
 
 SimReport
 Simulator::Impl::buildReport(double wall_seconds) const
@@ -1189,15 +47,17 @@ Simulator::Impl::buildReport(double wall_seconds) const
             // recorded transfer intervals.
             double max_bw = 0.0;
             for (const auto &iv : conn->intervals()) {
-                double rate = iv.bytes /
-                              std::max<double>(1.0, double(iv.end - iv.start));
+                double rate =
+                    iv.bytes /
+                    std::max<double>(1.0, double(iv.end - iv.start));
                 max_bw = std::max(max_bw, rate);
             }
             c.maxBw = max_bw;
             Cycles read_at_peak = 0, write_at_peak = 0;
             for (const auto &iv : conn->intervals()) {
-                double rate = iv.bytes /
-                              std::max<double>(1.0, double(iv.end - iv.start));
+                double rate =
+                    iv.bytes /
+                    std::max<double>(1.0, double(iv.end - iv.start));
                 if (max_bw > 0 && rate >= max_bw * 0.999) {
                     (iv.isRead ? read_at_peak : write_at_peak) +=
                         iv.end - iv.start;
@@ -1262,11 +122,15 @@ Simulator::simulate(ir::Operation *module)
     bool trace_on = _impl->traceData.enabled();
     _impl->reset();
     _impl->traceData.setEnabled(trace_on);
+    // Dispatch resolves against the module's context; contexts can
+    // differ between runs of one Simulator, so rebuild per run (cheap:
+    // one pass over the interned-name pool).
+    _impl->buildDispatchTable(module->context());
 
-    auto env = std::make_shared<Env>();
+    EnvPtr env = _impl->makeEnv(&module->region(0).front(), nullptr);
     auto exec = std::make_unique<BlockExec>(
         *_impl, nullptr, _impl->rootProc.get(),
-        &module->region(0).front(), env);
+        &module->region(0).front(), std::move(env));
     BlockExec *raw = exec.get();
     _impl->execs.push_back(std::move(exec));
     raw->start(0);

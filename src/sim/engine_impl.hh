@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Internal engine declarations shared by the engine's translation
+ * units. Not part of the user-facing API (include sim/engine.hh for
+ * that). The engine is split into cohesive units:
+ *
+ *  - event_core.cc: the discrete-event heap, event lifecycle,
+ *    dependency subscription, and processor issue queues (§III-D).
+ *  - elaborate.cc:  handlers for structure ops that build the modeled
+ *    hardware (create_proc/dma/mem/comp/..., alloc).
+ *  - interp.cc:     block interpretation — dense value-numbered SSA
+ *    environments, control flow, and the OpId dispatch table.
+ *  - handlers.cc:   per-op handlers for compute, data movement, and
+ *    event ops.
+ *  - engine.cc:     the Simulator facade and report generation.
+ *
+ * Dispatch is table-driven: every op kind's handler is found by
+ * indexing a per-run table with the op's interned OpId (see
+ * ir/opid.hh); the hot path performs no string comparisons.
+ */
+
+#ifndef EQ_SIM_ENGINE_IMPL_HH
+#define EQ_SIM_ENGINE_IMPL_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.hh"
+#include "sim/costmodel.hh"
+#include "sim/engine.hh"
+
+namespace eq {
+namespace sim {
+
+class BlockExec;
+
+/**
+ * Dense value environment for one numbering scope (an interpreted
+ * block tree: the module top level or a launch body). Values resolve
+ * to slots assigned at region entry (Simulator::Impl::scopeFor);
+ * launch bodies chain to their creator's environment so lazily
+ * captured and published values resolve across launches.
+ */
+struct Env {
+    uint32_t scopeId = 0;
+    std::vector<SimValue> slots;
+    std::shared_ptr<Env> parent;
+
+    /** Resolve @p v along the scope chain; null when unbound. */
+    const SimValue *
+    find(const ir::ValueImpl *v) const
+    {
+        for (const Env *e = this; e; e = e->parent.get()) {
+            if (e->scopeId == v->interpScope) {
+                const SimValue &s = e->slots[v->interpSlot];
+                return s.isNone() ? nullptr : &s;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Bind @p v in whichever chained scope owns it. */
+    void
+    bind(const ir::ValueImpl *v, SimValue s)
+    {
+        for (Env *e = this; e; e = e->parent.get()) {
+            if (e->scopeId == v->interpScope) {
+                e->slots[v->interpSlot] = std::move(s);
+                return;
+            }
+        }
+        eq_panic("binding a value outside every active scope");
+    }
+};
+
+using EnvPtr = std::shared_ptr<Env>;
+
+/** A scheduled/executing event (§III-D): launch, memcpy, or control. */
+struct Event {
+    enum class Kind { Start, And, Or, Launch, Memcpy };
+
+    EventId id = 0;
+    Kind kind = Kind::Start;
+    std::vector<EventId> deps;
+
+    // Launch / memcpy payload.
+    ir::Operation *op = nullptr;
+    Processor *proc = nullptr;
+    EnvPtr creatorEnv;
+    // Memcpy payload (resolved at creation).
+    BufferObj *src = nullptr;
+    BufferObj *dst = nullptr;
+    Connection *conn = nullptr;
+
+    bool done = false;
+    bool issueSubscribed = false;
+    Cycles createdAt = 0;
+    Cycles startTime = 0;
+    Cycles doneTime = 0;
+    std::vector<SimValue> results;
+    std::vector<std::function<void(Cycles)>> onDone;
+};
+
+/**
+ * Interprets one block (the module top level or a launch body) on a
+ * processor. Executes ops in order; 0-cost ops run inline, timed ops
+ * suspend via the engine heap; blocking ops (await, stream reads, queue
+ * stalls) subscribe to wakeups. Per-op behavior lives in handler member
+ * functions dispatched through the engine's OpId-indexed table.
+ */
+class BlockExec {
+  public:
+    BlockExec(Simulator::Impl &eng, Event *ev, Processor *proc,
+              ir::Block *block, EnvPtr env)
+        : _eng(eng), _event(ev), _proc(proc), _env(std::move(env))
+    {
+        _frames.push_back(Frame{block, block->begin(), nullptr, 0, {}});
+    }
+
+    void
+    start(Cycles t)
+    {
+        resume(t);
+    }
+
+    /** Re-enter interpretation at simulation time @p t. */
+    void resume(Cycles t);
+
+    enum class Step { Continue, Suspend, Finished };
+    /** Handler for one op kind; the dispatch table stores these. */
+    using Handler = Step (BlockExec::*)(ir::Operation *, Cycles &);
+
+    /// @name Op handlers (elaborate.cc)
+    /// @{
+    Step execCreateProc(ir::Operation *op, Cycles &now);
+    Step execCreateDma(ir::Operation *op, Cycles &now);
+    Step execCreateMem(ir::Operation *op, Cycles &now);
+    Step execCreateStream(ir::Operation *op, Cycles &now);
+    Step execCreateConnection(ir::Operation *op, Cycles &now);
+    Step execCreateOrAddComp(ir::Operation *op, Cycles &now);
+    Step execGetComp(ir::Operation *op, Cycles &now);
+    Step execAlloc(ir::Operation *op, Cycles &now);
+    Step execDealloc(ir::Operation *op, Cycles &now);
+    /// @}
+
+    /// @name Op handlers (interp.cc: control flow)
+    /// @{
+    Step execAffineFor(ir::Operation *op, Cycles &now);
+    Step execAffineParallel(ir::Operation *op, Cycles &now);
+    Step execAffineYield(ir::Operation *op, Cycles &now);
+    Step execNestedModule(ir::Operation *op, Cycles &now);
+    /// @}
+
+    /// @name Op handlers (handlers.cc: compute, data motion, events)
+    /// @{
+    Step execArithConstant(ir::Operation *op, Cycles &now);
+    Step execAddI(ir::Operation *op, Cycles &now);
+    Step execSubI(ir::Operation *op, Cycles &now);
+    Step execMulI(ir::Operation *op, Cycles &now);
+    Step execDivSI(ir::Operation *op, Cycles &now);
+    Step execRemSI(ir::Operation *op, Cycles &now);
+    Step execAddF(ir::Operation *op, Cycles &now);
+    Step execMulF(ir::Operation *op, Cycles &now);
+    Step execArithUnsupported(ir::Operation *op, Cycles &now);
+    Step execAffineLoadStore(ir::Operation *op, Cycles &now);
+    Step execLinalg(ir::Operation *op, Cycles &now);
+    Step execRead(ir::Operation *op, Cycles &now);
+    Step execWrite(ir::Operation *op, Cycles &now);
+    Step execStreamRead(ir::Operation *op, Cycles &now);
+    Step execStreamWrite(ir::Operation *op, Cycles &now);
+    Step execControlStart(ir::Operation *op, Cycles &now);
+    Step execControlAndOr(ir::Operation *op, Cycles &now);
+    Step execLaunch(ir::Operation *op, Cycles &now);
+    Step execMemcpy(ir::Operation *op, Cycles &now);
+    Step execAwait(ir::Operation *op, Cycles &now);
+    Step execReturn(ir::Operation *op, Cycles &now);
+    Step execExtern(ir::Operation *op, Cycles &now);
+    /// @}
+
+  private:
+    friend struct Simulator::Impl;
+
+    struct Frame {
+        ir::Block *block;
+        ir::Block::iterator it;
+        ir::Operation *loop; ///< owning affine.for/parallel, if any
+        int64_t iv;          ///< affine.for induction value
+        std::vector<int64_t> ivs; ///< affine.parallel induction values
+    };
+
+    Step dispatch(ir::Operation *op, Cycles &now);
+    Step handleLoopEnd(Cycles &now);
+    void finish(Cycles t);
+
+    // Inline hot helpers (defined below, after Simulator::Impl).
+    SimValue eval(ir::Value v) const;
+    void bind(ir::Value v, SimValue s);
+    Step advanceAfter(ir::Operation *op, Cycles now, Cycles start,
+                      Cycles cycles);
+    Cycles opCost(ir::Operation *op) const;
+    std::string traceLabel(ir::Operation *op) const;
+
+    /** Advance the instruction pointer past a 0-cost op. */
+    Step
+    advanceFree()
+    {
+        ++_frames.back().it;
+        return Step::Continue;
+    }
+
+    Simulator::Impl &_eng;
+    Event *_event;    ///< null for the module top level
+    Processor *_proc; ///< executing processor (root proc at top level)
+    EnvPtr _env;
+    std::vector<Frame> _frames;
+    std::vector<EventId> _spawned;
+    bool _finished = false;
+};
+
+struct Simulator::Impl {
+    EngineOptions opts;
+    Trace traceData;
+    OpFunctionRegistry opFns;
+    ComponentFactory factory;
+
+    // --- per-run dispatch state ---------------------------------------
+    /** Handler table indexed by OpId::raw(); null = uninterpretable. */
+    std::vector<BlockExec::Handler> handlers;
+    /** (CostClass, OpId) -> processor occupancy cycles;
+     *  CostModel::kDynamic defers to linalgCycles at execution time. */
+    std::array<std::vector<Cycles>, kNumCostClasses> costTable;
+    /** Ids the interpreter compares against (resolved per run). */
+    ir::OpId idAffineFor, idAffineParallel, idAffineStore, idControlAnd,
+        idAddComp, idExtractComp, idEqueueAlloc, idExtern, idLaunch,
+        idConv, idFill, idMatmul;
+
+    /** Build the dispatch/cost tables for @p ctx (interp.cc). */
+    void buildDispatchTable(ir::Context &ctx);
+
+    // --- value numbering ----------------------------------------------
+    struct ValueScope {
+        uint32_t scopeId;
+        uint32_t numSlots;
+    };
+    /** Numbered interpretation scopes, keyed by root block. */
+    std::unordered_map<ir::Block *, ValueScope> valueScopes;
+    /** Scope id source; never reset so stale ValueImpl numbering from
+     *  earlier runs can never alias a live scope. 0 = "unnumbered". */
+    uint32_t nextScopeId = 1;
+
+    /** Slot-number @p root (cached); assigns ValueImpl::interpScope and
+     *  interpSlot across the whole inline-interpreted block tree. */
+    const ValueScope &scopeFor(ir::Block *root);
+    /** Fresh environment for @p root chained onto @p parent. */
+    EnvPtr makeEnv(ir::Block *root, EnvPtr parent);
+
+    // --- per-run simulation state -------------------------------------
+    std::vector<std::unique_ptr<Component>> components;
+    std::vector<std::unique_ptr<BufferObj>> buffers;
+    std::vector<std::unique_ptr<Event>> events;
+    std::vector<std::unique_ptr<BlockExec>> execs;
+    std::unordered_map<StreamFifo *, std::vector<std::function<void()>>>
+        streamWaiters;
+    std::unique_ptr<Processor> rootProc;
+
+    struct HeapItem {
+        Cycles t;
+        uint64_t seq;
+        std::function<void()> fn;
+        bool
+        operator>(const HeapItem &o) const
+        {
+            return std::tie(t, seq) > std::tie(o.t, o.seq);
+        }
+    };
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>>
+        heap;
+    uint64_t seqCounter = 0;
+    Cycles now = 0;
+    Cycles endTime = 0;
+    uint64_t eventsExecuted = 0;
+    uint64_t opsExecuted = 0;
+    std::unordered_map<std::string, int> nameCounters;
+
+    // --- event core (event_core.cc) -----------------------------------
+    void reset();
+    std::string freshName(const std::string &base);
+
+    void
+    scheduleAt(Cycles t, std::function<void()> fn)
+    {
+        heap.push({t, seqCounter++, std::move(fn)});
+    }
+
+    void
+    noteActivity(Cycles t)
+    {
+        endTime = std::max(endTime, t);
+    }
+
+    Event *newEvent(Event::Kind kind, Cycles t);
+
+    Event *
+    event(EventId id)
+    {
+        eq_assert(id < events.size(), "bad event id");
+        return events[id].get();
+    }
+
+    void completeEvent(Event *ev, Cycles t);
+
+    /** Invoke @p fn(max completion time) once all of @p ids are done. */
+    void whenAllDone(const std::vector<EventId> &ids,
+                     std::function<void(Cycles)> fn);
+    /** Invoke @p fn(first completion time) once any of @p ids is done. */
+    void whenAnyDone(const std::vector<EventId> &ids,
+                     std::function<void(Cycles)> fn);
+
+    void enqueueOnProcessor(Event *ev, Cycles t);
+    void tryIssue(Processor *proc, Cycles t);
+    void issueLaunch(Event *ev, Cycles t);
+    void issueMemcpy(Event *ev, Cycles t);
+    void notifyStream(StreamFifo *fifo);
+    void runHeap();
+
+    // --- cost & trace -------------------------------------------------
+    /** Table-driven per-op cost; no strings on this path. */
+    Cycles
+    opCost(Processor *proc, ir::Operation *op) const
+    {
+        unsigned cls = proc ? static_cast<unsigned>(proc->costClass())
+                            : static_cast<unsigned>(CostClass::Root);
+        Cycles c = costTable[cls][op->opId().raw()];
+        if (c == CostModel::kDynamic)
+            c = CostModel::linalgCycles(op);
+        return c;
+    }
+
+    void
+    recordTrace(const std::string &op_name, Processor *proc, Cycles start,
+                Cycles dur, const char *cat = "operation")
+    {
+        if (!traceData.enabled())
+            return;
+        TraceEvent e;
+        e.name = op_name;
+        e.cat = cat;
+        e.pid = proc->parent() ? proc->parent()->path() : "top";
+        e.tid = proc->name();
+        e.ts = start;
+        e.dur = dur;
+        traceData.record(e);
+    }
+
+    /** Bulk-transfer occupancy of a memory: words striped over banks. */
+    static Cycles
+    bulkMemCycles(Memory *mem, int64_t words, bool is_write)
+    {
+        Cycles per = mem->getReadOrWriteCycles(is_write, words);
+        unsigned banks = std::max(1u, mem->numQueues());
+        return (per + banks - 1) / banks;
+    }
+
+    SimReport buildReport(double wall_seconds) const;
+};
+
+// ---------------------------------------------------------------------------
+// BlockExec inline hot helpers (need the complete Impl)
+
+inline SimValue
+BlockExec::eval(ir::Value v) const
+{
+    const SimValue *s = _env->find(v.impl());
+    eq_assert(s, "use of value with no runtime binding (op '",
+              v.definingOp() ? v.definingOp()->name() : "blockarg",
+              "'): likely a missing event dependency");
+    return *s;
+}
+
+inline void
+BlockExec::bind(ir::Value v, SimValue s)
+{
+    _env->bind(v.impl(), std::move(s));
+}
+
+inline Cycles
+BlockExec::opCost(ir::Operation *op) const
+{
+    return _eng.opCost(_proc, op);
+}
+
+/**
+ * Account for an op that occupies the processor from @p start for
+ * @p cycles. Advances the instruction pointer; suspends when the op
+ * ends later than @p now.
+ */
+inline BlockExec::Step
+BlockExec::advanceAfter(ir::Operation *op, Cycles now, Cycles start,
+                        Cycles cycles)
+{
+    Cycles end = start + cycles;
+    if (_proc) {
+        _proc->recordBusy(cycles);
+        _proc->recordOp();
+        if (_eng.traceData.enabled()) {
+            if (start > now)
+                _eng.recordTrace("stall", _proc, now, start - now,
+                                 "stall");
+            if (cycles > 0)
+                _eng.recordTrace(traceLabel(op), _proc, start, cycles);
+        }
+    }
+    _eng.noteActivity(end);
+    ++_frames.back().it;
+    if (end > now) {
+        _eng.scheduleAt(end, [this, end] { resume(end); });
+        return Step::Suspend;
+    }
+    return Step::Continue;
+}
+
+inline std::string
+BlockExec::traceLabel(ir::Operation *op) const
+{
+    if (op->opId() == _eng.idExtern)
+        return op->strAttr("signature");
+    return op->name();
+}
+
+} // namespace sim
+} // namespace eq
+
+#endif // EQ_SIM_ENGINE_IMPL_HH

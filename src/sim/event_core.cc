@@ -1,0 +1,255 @@
+/**
+ * @file
+ * The engine's event core: discrete-event heap, event lifecycle and
+ * dependency subscription, and the per-processor FIFO issue logic of
+ * §III-D (launch enqueues an event; the queue head issues once its
+ * dependencies complete; each processor executes one event at a time).
+ */
+
+#include <algorithm>
+
+#include "dialects/equeue.hh"
+#include "sim/engine_impl.hh"
+
+namespace eq {
+namespace sim {
+
+void
+Simulator::Impl::reset()
+{
+    components.clear();
+    buffers.clear();
+    events.clear();
+    execs.clear();
+    streamWaiters.clear();
+    while (!heap.empty())
+        heap.pop();
+    seqCounter = 0;
+    now = 0;
+    endTime = 0;
+    eventsExecuted = 0;
+    opsExecuted = 0;
+    nameCounters.clear();
+    valueScopes.clear();
+    traceData.clear();
+    rootProc = std::make_unique<Processor>("host", "Root");
+}
+
+std::string
+Simulator::Impl::freshName(const std::string &base)
+{
+    int n = nameCounters[base]++;
+    return base + std::to_string(n);
+}
+
+Event *
+Simulator::Impl::newEvent(Event::Kind kind, Cycles t)
+{
+    auto ev = std::make_unique<Event>();
+    ev->id = events.size();
+    ev->kind = kind;
+    ev->createdAt = t;
+    events.push_back(std::move(ev));
+    return events.back().get();
+}
+
+void
+Simulator::Impl::completeEvent(Event *ev, Cycles t)
+{
+    eq_assert(!ev->done, "event completed twice");
+    ev->done = true;
+    ev->doneTime = t;
+    noteActivity(t);
+    ++eventsExecuted;
+    auto callbacks = std::move(ev->onDone);
+    ev->onDone.clear();
+    for (auto &cb : callbacks)
+        cb(t);
+}
+
+void
+Simulator::Impl::whenAllDone(const std::vector<EventId> &ids,
+                             std::function<void(Cycles)> fn)
+{
+    auto state = std::make_shared<std::pair<size_t, Cycles>>(0, 0);
+    for (EventId id : ids) {
+        Event *ev = event(id);
+        if (ev->done)
+            state->second = std::max(state->second, ev->doneTime);
+        else
+            ++state->first;
+    }
+    if (state->first == 0) {
+        fn(state->second);
+        return;
+    }
+    auto shared_fn =
+        std::make_shared<std::function<void(Cycles)>>(std::move(fn));
+    for (EventId id : ids) {
+        Event *ev = event(id);
+        if (ev->done)
+            continue;
+        ev->onDone.push_back([state, shared_fn](Cycles t) {
+            state->second = std::max(state->second, t);
+            if (--state->first == 0)
+                (*shared_fn)(state->second);
+        });
+    }
+}
+
+void
+Simulator::Impl::whenAnyDone(const std::vector<EventId> &ids,
+                             std::function<void(Cycles)> fn)
+{
+    for (EventId id : ids) {
+        if (event(id)->done) {
+            fn(event(id)->doneTime);
+            return;
+        }
+    }
+    auto fired = std::make_shared<bool>(false);
+    auto shared_fn =
+        std::make_shared<std::function<void(Cycles)>>(std::move(fn));
+    for (EventId id : ids) {
+        event(id)->onDone.push_back([fired, shared_fn](Cycles t) {
+            if (!*fired) {
+                *fired = true;
+                (*shared_fn)(t);
+            }
+        });
+    }
+}
+
+void
+Simulator::Impl::enqueueOnProcessor(Event *ev, Cycles t)
+{
+    ev->proc->queue().push_back(ev);
+    scheduleAt(t, [this, proc = ev->proc, t] { tryIssue(proc, t); });
+}
+
+void
+Simulator::Impl::tryIssue(Processor *proc, Cycles t)
+{
+    if (proc->busy() || proc->queue().empty())
+        return;
+    Event *head = proc->queue().front();
+    // All dependencies must be complete before the head may issue
+    // (head-of-line blocking, as in Fig. 5).
+    std::vector<EventId> undone;
+    Cycles dep_time = t;
+    for (EventId id : head->deps) {
+        Event *dep = event(id);
+        if (!dep->done)
+            undone.push_back(id);
+        else
+            dep_time = std::max(dep_time, dep->doneTime);
+    }
+    if (!undone.empty()) {
+        if (!head->issueSubscribed) {
+            head->issueSubscribed = true;
+            whenAllDone(undone, [this, proc](Cycles done_t) {
+                scheduleAt(done_t, [this, proc, done_t] {
+                    tryIssue(proc, done_t);
+                });
+            });
+        }
+        return;
+    }
+    proc->queue().pop_front();
+    proc->setBusy(true);
+    head->issueSubscribed = false;
+    head->startTime = dep_time;
+    if (head->kind == Event::Kind::Launch)
+        issueLaunch(head, dep_time);
+    else
+        issueMemcpy(head, dep_time);
+}
+
+void
+Simulator::Impl::issueLaunch(Event *ev, Cycles t)
+{
+    equeue::LaunchOp launch(ev->op);
+    ir::Block &body = launch.body();
+    EnvPtr env = makeEnv(&body, ev->creatorEnv);
+    // Resolve captured values now (lazy capture: results of earlier
+    // events are published by the time our dependencies are done).
+    auto captured = launch.captured();
+    for (size_t i = 0; i < captured.size(); ++i) {
+        const SimValue *sv = ev->creatorEnv->find(captured[i].impl());
+        eq_assert(sv, "launch captures value that is not yet computed; "
+                      "add an event dependency");
+        env->bind(body.argument(static_cast<unsigned>(i)).impl(), *sv);
+    }
+    auto exec = std::make_unique<BlockExec>(*this, ev, ev->proc, &body,
+                                            std::move(env));
+    BlockExec *raw = exec.get();
+    execs.push_back(std::move(exec));
+    raw->start(t);
+}
+
+void
+Simulator::Impl::issueMemcpy(Event *ev, Cycles t)
+{
+    BufferObj *src = ev->src;
+    BufferObj *dst = ev->dst;
+    int64_t words =
+        std::min(src->data->numElements(), dst->data->numElements());
+    int64_t bytes = words * ((src->data->elemBits + 7) / 8);
+
+    Cycles dur = 1;
+    if (src->mem)
+        dur = std::max(dur, bulkMemCycles(src->mem, words, false));
+    if (dst->mem)
+        dur = std::max(dur, bulkMemCycles(dst->mem, words, true));
+    Cycles start = t;
+    if (ev->conn) {
+        Cycles c = ev->conn->transferCycles(bytes);
+        dur = std::max(dur, c);
+        start = ev->conn->acquireChannel(false, t, dur);
+        ev->conn->recordTransfer(false, start, start + dur, bytes);
+    }
+    // Copy now; data is considered valid once the event completes.
+    std::copy_n(src->data->data.begin(), words, dst->data->data.begin());
+    if (src->mem)
+        src->mem->recordAccess(false, bytes);
+    if (dst->mem)
+        dst->mem->recordAccess(true, bytes);
+
+    Processor *proc = ev->proc;
+    proc->recordBusy(dur);
+    proc->recordOp();
+    recordTrace("equeue.memcpy", proc, start, dur);
+    Cycles end = start + dur;
+    scheduleAt(end, [this, ev, proc, end] {
+        completeEvent(ev, end);
+        proc->setBusy(false);
+        tryIssue(proc, end);
+    });
+}
+
+void
+Simulator::Impl::notifyStream(StreamFifo *fifo)
+{
+    auto it = streamWaiters.find(fifo);
+    if (it == streamWaiters.end())
+        return;
+    auto waiters = std::move(it->second);
+    streamWaiters.erase(it);
+    for (auto &w : waiters)
+        scheduleAt(now, std::move(w));
+}
+
+void
+Simulator::Impl::runHeap()
+{
+    while (!heap.empty()) {
+        HeapItem item = heap.top();
+        heap.pop();
+        eq_assert(item.t >= now, "time went backwards in the scheduler");
+        now = item.t;
+        item.fn();
+    }
+}
+
+} // namespace sim
+} // namespace eq

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Block interpretation: dense value-numbered SSA environments, the
+ * resume/suspend execution loop, loop control flow, and construction of
+ * the OpId-indexed dispatch and cost tables.
+ *
+ * Value numbering: each interpreted block tree (the module top level or
+ * a launch body) is one *scope*. At first entry the tree is walked once
+ * and every op result and block argument is assigned a dense slot
+ * (ValueImpl::interpScope/interpSlot); the runtime environment is then
+ * a plain vector indexed by slot, replacing per-value map lookups.
+ * Launch regions are excluded — they are their own scopes, numbered
+ * when first launched — but affine loop bodies and nested modules
+ * execute inline and share the enclosing scope (loop iterations reuse
+ * the same slots).
+ */
+
+#include "base/stringutil.hh"
+#include "dialects/affine.hh"
+#include "dialects/arith.hh"
+#include "dialects/equeue.hh"
+#include "dialects/linalg.hh"
+#include "dialects/memref.hh"
+#include "sim/engine_impl.hh"
+
+namespace eq {
+namespace sim {
+
+// ---------------------------------------------------------------------------
+// Value numbering
+
+namespace {
+
+/** Assign slots to every value in @p block's inline-interpreted tree;
+ *  returns the next free slot. */
+uint32_t
+numberBlock(ir::Block *block, uint32_t scope_id, uint32_t next_slot,
+            ir::OpId launch_id)
+{
+    for (unsigned i = 0; i < block->numArguments(); ++i) {
+        ir::ValueImpl *impl = block->argument(i).impl();
+        impl->interpScope = scope_id;
+        impl->interpSlot = next_slot++;
+    }
+    for (ir::Operation *op : *block) {
+        for (ir::Value r : op->results()) {
+            r.impl()->interpScope = scope_id;
+            r.impl()->interpSlot = next_slot++;
+        }
+        if (op->opId() == launch_id)
+            continue; // launch bodies are separate scopes
+        for (unsigned r = 0; r < op->numRegions(); ++r)
+            for (auto &nested : op->region(r))
+                next_slot = numberBlock(nested.get(), scope_id, next_slot,
+                                        launch_id);
+    }
+    return next_slot;
+}
+
+} // namespace
+
+const Simulator::Impl::ValueScope &
+Simulator::Impl::scopeFor(ir::Block *root)
+{
+    auto it = valueScopes.find(root);
+    if (it != valueScopes.end())
+        return it->second;
+    uint32_t scope_id = nextScopeId++;
+    uint32_t slots = numberBlock(root, scope_id, 0, idLaunch);
+    return valueScopes.emplace(root, ValueScope{scope_id, slots})
+        .first->second;
+}
+
+EnvPtr
+Simulator::Impl::makeEnv(ir::Block *root, EnvPtr parent)
+{
+    const ValueScope &vs = scopeFor(root);
+    auto env = std::make_shared<Env>();
+    env->scopeId = vs.scopeId;
+    env->slots.resize(vs.numSlots);
+    env->parent = std::move(parent);
+    return env;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch table
+
+void
+Simulator::Impl::buildDispatchTable(ir::Context &ctx)
+{
+    // Ids the interpreter's handlers compare against. Resolved before
+    // the table is sized, so any name these intern is covered by it.
+    idAffineFor = affine::ForOp::id(ctx);
+    idAffineParallel = affine::ParallelOp::id(ctx);
+    idAffineStore = affine::StoreOp::id(ctx);
+    idControlAnd = equeue::ControlAndOp::id(ctx);
+    idAddComp = equeue::AddCompOp::id(ctx);
+    idExtractComp = equeue::ExtractCompOp::id(ctx);
+    idEqueueAlloc = equeue::AllocOp::id(ctx);
+    idExtern = equeue::ExternOp::id(ctx);
+    idLaunch = equeue::LaunchOp::id(ctx);
+    idConv = linalg::ConvOp::id(ctx);
+    idFill = linalg::FillOp::id(ctx);
+    idMatmul = linalg::MatmulOp::id(ctx);
+
+    handlers.assign(ctx.numInternedOpNames(), nullptr);
+    auto set = [&](const char *name, BlockExec::Handler h) {
+        ir::OpId id = ctx.lookupOpId(name);
+        if (id.valid())
+            handlers[id.raw()] = h;
+    };
+
+    // Structure (elaborate.cc).
+    set(equeue::CreateProcOp::opName, &BlockExec::execCreateProc);
+    set(equeue::CreateDmaOp::opName, &BlockExec::execCreateDma);
+    set(equeue::CreateMemOp::opName, &BlockExec::execCreateMem);
+    set(equeue::CreateStreamOp::opName, &BlockExec::execCreateStream);
+    set(equeue::CreateConnectionOp::opName,
+        &BlockExec::execCreateConnection);
+    set(equeue::CreateCompOp::opName, &BlockExec::execCreateOrAddComp);
+    set(equeue::AddCompOp::opName, &BlockExec::execCreateOrAddComp);
+    set(equeue::GetCompOp::opName, &BlockExec::execGetComp);
+    set(equeue::ExtractCompOp::opName, &BlockExec::execGetComp);
+    set(equeue::AllocOp::opName, &BlockExec::execAlloc);
+    set(memref::AllocOp::opName, &BlockExec::execAlloc);
+    set(equeue::DeallocOp::opName, &BlockExec::execDealloc);
+    set(memref::DeallocOp::opName, &BlockExec::execDealloc);
+
+    // Control flow (this file).
+    set(affine::ForOp::opName, &BlockExec::execAffineFor);
+    set(affine::ParallelOp::opName, &BlockExec::execAffineParallel);
+    set(affine::YieldOp::opName, &BlockExec::execAffineYield);
+    set("builtin.module", &BlockExec::execNestedModule);
+
+    // Compute, data motion, events (handlers.cc).
+    set(arith::ConstantOp::opName, &BlockExec::execArithConstant);
+    set(arith::AddIOp::opName, &BlockExec::execAddI);
+    set(arith::SubIOp::opName, &BlockExec::execSubI);
+    set(arith::MulIOp::opName, &BlockExec::execMulI);
+    set(arith::DivSIOp::opName, &BlockExec::execDivSI);
+    set(arith::RemSIOp::opName, &BlockExec::execRemSI);
+    set(arith::AddFOp::opName, &BlockExec::execAddF);
+    set(arith::MulFOp::opName, &BlockExec::execMulF);
+    set(affine::LoadOp::opName, &BlockExec::execAffineLoadStore);
+    set(affine::StoreOp::opName, &BlockExec::execAffineLoadStore);
+    set(linalg::ConvOp::opName, &BlockExec::execLinalg);
+    set(linalg::FillOp::opName, &BlockExec::execLinalg);
+    set(linalg::MatmulOp::opName, &BlockExec::execLinalg);
+    set(equeue::ReadOp::opName, &BlockExec::execRead);
+    set(equeue::WriteOp::opName, &BlockExec::execWrite);
+    set(equeue::StreamReadOp::opName, &BlockExec::execStreamRead);
+    set(equeue::StreamWriteOp::opName, &BlockExec::execStreamWrite);
+    set(equeue::ControlStartOp::opName, &BlockExec::execControlStart);
+    set(equeue::ControlAndOp::opName, &BlockExec::execControlAndOr);
+    set(equeue::ControlOrOp::opName, &BlockExec::execControlAndOr);
+    set(equeue::LaunchOp::opName, &BlockExec::execLaunch);
+    set(equeue::MemcpyOp::opName, &BlockExec::execMemcpy);
+    set(equeue::AwaitOp::opName, &BlockExec::execAwait);
+    set(equeue::ReturnOp::opName, &BlockExec::execReturn);
+    set(equeue::ExternOp::opName, &BlockExec::execExtern);
+
+    // Dialect-prefix fallbacks for interned names with no specific
+    // handler: any other arith op reports a precise diagnostic; any
+    // other linalg op executes with its analytic cost only.
+    for (uint32_t raw = 0; raw < handlers.size(); ++raw) {
+        if (handlers[raw])
+            continue;
+        const std::string &name = ctx.opName(ir::OpId(raw));
+        if (startsWith(name, "arith."))
+            handlers[raw] = &BlockExec::execArithUnsupported;
+        else if (startsWith(name, "linalg."))
+            handlers[raw] = &BlockExec::execLinalg;
+    }
+
+    // Per-(class, op) cost table; strings are consulted only here.
+    for (unsigned cls = 0; cls < kNumCostClasses; ++cls) {
+        auto &row = costTable[cls];
+        row.assign(handlers.size(), 0);
+        for (uint32_t raw = 0; raw < handlers.size(); ++raw)
+            row[raw] = CostModel::staticOpCycles(
+                static_cast<CostClass>(cls), ctx.opName(ir::OpId(raw)));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BlockExec: the interpretation loop
+
+void
+BlockExec::resume(Cycles t)
+{
+    eq_assert(!_finished, "resuming finished block");
+    Cycles now = t;
+    _eng.now = std::max(_eng.now, t);
+    while (true) {
+        if (_frames.empty()) {
+            finish(now);
+            return;
+        }
+        Frame &f = _frames.back();
+        if (f.it == f.block->end()) {
+            Step s = handleLoopEnd(now);
+            if (s == Step::Finished) {
+                finish(now);
+                return;
+            }
+            continue;
+        }
+        ir::Operation *op = *f.it;
+        if (++_eng.opsExecuted > _eng.opts.maxOps)
+            eq_fatal("interpreted op budget exceeded (", _eng.opts.maxOps,
+                     "); runaway program?");
+        Step s = dispatch(op, now);
+        if (s == Step::Suspend)
+            return;
+        if (s == Step::Finished) {
+            finish(now);
+            return;
+        }
+    }
+}
+
+BlockExec::Step
+BlockExec::dispatch(ir::Operation *op, Cycles &now)
+{
+    const uint32_t raw = op->opId().raw();
+    const auto &table = _eng.handlers;
+    if (raw < table.size()) {
+        if (Handler h = table[raw])
+            return (this->*h)(op, now);
+    }
+    eq_fatal("simulation engine cannot interpret op '", op->name(), "'");
+}
+
+/** Loop bookkeeping when the instruction pointer hits the block end. */
+BlockExec::Step
+BlockExec::handleLoopEnd(Cycles &now)
+{
+    (void)now;
+    Frame &f = _frames.back();
+    if (!f.loop) {
+        // Top frame of the launch body / module: we are done.
+        return Step::Finished;
+    }
+    if (f.loop->opId() == _eng.idAffineFor) {
+        affine::ForOp loop(f.loop);
+        f.iv += loop.step();
+        if (f.iv < loop.ub()) {
+            bind(loop.inductionVar(), SimValue::ofInt(f.iv));
+            f.it = f.block->begin();
+            return Step::Continue;
+        }
+    } else if (f.loop->opId() == _eng.idAffineParallel) {
+        affine::ParallelOp loop(f.loop);
+        auto ubs = loop.ubs();
+        auto steps = loop.steps();
+        // Lexicographic increment of the induction vector.
+        int dim = static_cast<int>(f.ivs.size()) - 1;
+        while (dim >= 0) {
+            f.ivs[dim] += steps[dim];
+            if (f.ivs[dim] < ubs[dim])
+                break;
+            f.ivs[dim] = loop.lbs()[dim];
+            --dim;
+        }
+        if (dim >= 0) {
+            for (size_t i = 0; i < f.ivs.size(); ++i)
+                bind(f.block->argument(static_cast<unsigned>(i)),
+                     SimValue::ofInt(f.ivs[i]));
+            f.it = f.block->begin();
+            return Step::Continue;
+        }
+    }
+    // Loop exhausted: pop the frame and advance past the loop op in the
+    // parent frame.
+    _frames.pop_back();
+    eq_assert(!_frames.empty(), "loop frame without parent");
+    ++_frames.back().it;
+    return Step::Continue;
+}
+
+void
+BlockExec::finish(Cycles t)
+{
+    if (_finished)
+        return;
+    _finished = true;
+    _eng.noteActivity(t);
+    if (!_event)
+        return; // module top level
+    // Publish launch results into the creator environment so later
+    // consumers (e.g. follow-up launches capturing them) can resolve.
+    ir::Operation *op = _event->op;
+    for (unsigned i = 1; i < op->numResults(); ++i) {
+        eq_assert(_event->results.size() >= op->numResults() - 1,
+                  "launch body returned too few values");
+        _event->creatorEnv->bind(op->result(i).impl(),
+                                 _event->results[i - 1]);
+    }
+    Processor *proc = _proc;
+    _eng.completeEvent(_event, t);
+    proc->setBusy(false);
+    Simulator::Impl &eng = _eng;
+    eng.scheduleAt(t, [&eng, proc, t] { eng.tryIssue(proc, t); });
+}
+
+// ---------------------------------------------------------------------------
+// Control-flow handlers
+
+BlockExec::Step
+BlockExec::execAffineFor(ir::Operation *op, Cycles &now)
+{
+    (void)now;
+    affine::ForOp loop(op);
+    if (loop.lb() >= loop.ub())
+        return advanceFree();
+    bind(loop.inductionVar(), SimValue::ofInt(loop.lb()));
+    _frames.push_back(
+        Frame{&loop.body(), loop.body().begin(), op, loop.lb(), {}});
+    return Step::Continue;
+}
+
+BlockExec::Step
+BlockExec::execAffineParallel(ir::Operation *op, Cycles &now)
+{
+    (void)now;
+    affine::ParallelOp loop(op);
+    auto lbs = loop.lbs();
+    auto ubs = loop.ubs();
+    bool empty = lbs.empty();
+    for (size_t i = 0; i < lbs.size(); ++i)
+        if (lbs[i] >= ubs[i])
+            empty = true;
+    if (empty)
+        return advanceFree();
+    for (size_t i = 0; i < lbs.size(); ++i)
+        bind(loop.body().argument(static_cast<unsigned>(i)),
+             SimValue::ofInt(lbs[i]));
+    _frames.push_back(
+        Frame{&loop.body(), loop.body().begin(), op, 0, lbs});
+    return Step::Continue;
+}
+
+BlockExec::Step
+BlockExec::execAffineYield(ir::Operation *op, Cycles &now)
+{
+    // Loop back-edge: charge the cost, then fall off the block end.
+    return advanceAfter(op, now, now, opCost(op));
+}
+
+BlockExec::Step
+BlockExec::execNestedModule(ir::Operation *op, Cycles &now)
+{
+    (void)now;
+    // Nested module: execute its body inline (same numbering scope).
+    _frames.push_back(Frame{&op->region(0).front(),
+                            op->region(0).front().begin(), nullptr, 0,
+                            {}});
+    return Step::Continue;
+}
+
+} // namespace sim
+} // namespace eq

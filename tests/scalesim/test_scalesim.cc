@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "scalesim/scalesim.hh"
 
 namespace {
@@ -86,8 +88,80 @@ TEST(ScaleSimTest, OsSkipsPreload)
     EXPECT_EQ(r.cycles, 16u + 6u);
 }
 
+/** Brute-force per-fold reference model: walks every fold explicitly
+ *  (what simulate() computed before it was closed-formed over the
+ *  piecewise-uniform fold space). Equivalence oracle only. */
+Result
+simulatePerFold(const Config &cfg)
+{
+    Result r;
+    const int64_t d1 = cfg.d1();
+    const int64_t d2 = cfg.d2();
+    const int64_t t = cfg.streamLength();
+    const int64_t skew = cfg.ah + cfg.aw - 2;
+    const int64_t folds_r = (d1 + cfg.ah - 1) / cfg.ah;
+    const int64_t folds_c = (d2 + cfg.aw - 1) / cfg.aw;
+    const bool preloads = cfg.dataflow != Dataflow::OS;
+    const int64_t eb = cfg.elemBytes;
+    for (int64_t fr = 0; fr < folds_r; ++fr) {
+        int64_t r_eff = std::min<int64_t>(cfg.ah, d1 - fr * cfg.ah);
+        for (int64_t fc = 0; fc < folds_c; ++fc) {
+            int64_t c_eff = std::min<int64_t>(cfg.aw, d2 - fc * cfg.aw);
+            int64_t preload =
+                preloads ? (r_eff * c_eff + cfg.aw - 1) / cfg.aw : 0;
+            r.cycles += static_cast<uint64_t>(preload + t + skew);
+            switch (cfg.dataflow) {
+              case Dataflow::WS:
+                r.sramIfmapReadBytes += t * r_eff * eb;
+                r.sramWeightReadBytes += r_eff * c_eff * eb;
+                r.sramOfmapWriteBytes += t * c_eff * eb;
+                break;
+              case Dataflow::IS:
+                r.sramWeightReadBytes += t * r_eff * eb;
+                r.sramIfmapReadBytes += r_eff * c_eff * eb;
+                r.sramOfmapWriteBytes += t * c_eff * eb;
+                break;
+              case Dataflow::OS:
+                r.sramIfmapReadBytes += t * r_eff * eb;
+                r.sramWeightReadBytes += t * c_eff * eb;
+                r.sramOfmapWriteBytes += t * r_eff * eb;
+                break;
+            }
+        }
+    }
+    r.folds = static_cast<uint64_t>(folds_r * folds_c);
+    return r;
+}
+
 class ScaleSimSweep
     : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ScaleSimSweep, ClosedFormMatchesPerFoldReference)
+{
+    auto [ah, hw, f, n] = GetParam();
+    for (Dataflow df : {Dataflow::WS, Dataflow::IS, Dataflow::OS}) {
+        Config cfg;
+        cfg.dataflow = df;
+        cfg.ah = ah;
+        cfg.aw = 64 / ah;
+        cfg.c = 2;
+        cfg.h = cfg.w = hw;
+        cfg.n = n;
+        cfg.fh = cfg.fw = f;
+        if (cfg.h < cfg.fh)
+            continue;
+        Result fast = simulate(cfg);
+        Result ref = simulatePerFold(cfg);
+        EXPECT_EQ(fast.cycles, ref.cycles) << dataflowName(df);
+        EXPECT_EQ(fast.folds, ref.folds) << dataflowName(df);
+        EXPECT_EQ(fast.sramIfmapReadBytes, ref.sramIfmapReadBytes)
+            << dataflowName(df);
+        EXPECT_EQ(fast.sramWeightReadBytes, ref.sramWeightReadBytes)
+            << dataflowName(df);
+        EXPECT_EQ(fast.sramOfmapWriteBytes, ref.sramOfmapWriteBytes)
+            << dataflowName(df);
+    }
+}
 
 TEST_P(ScaleSimSweep, InvariantsHoldAcrossConfigs)
 {
