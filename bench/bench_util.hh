@@ -1,51 +1,118 @@
 /**
  * @file
- * Shared helpers for the experiment harnesses: run a systolic config on
- * the EQueue engine, pull SRAM stats, format rows.
+ * Shared helpers for the experiment harnesses, built on the sweep
+ * subsystem (src/sweep/): per-worker systolic simulation state with
+ * batched module reuse, self-timed runs, and the common command-line
+ * surface (--threads/--csv/--json) every harness exposes.
  */
 
 #ifndef EQ_BENCH_BENCH_UTIL_HH
 #define EQ_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "ir/builder.hh"
 #include "scalesim/scalesim.hh"
 #include "sim/engine.hh"
+#include "sweep/grid.hh"
+#include "sweep/runner.hh"
+#include "sweep/table.hh"
 #include "systolic/generator.hh"
 
 namespace eq {
 namespace bench {
 
-/** Engine-side result of simulating one systolic configuration. */
+/** Engine-side result of simulating one systolic configuration. The
+ *  helper times itself: @ref buildSeconds is module construction only,
+ *  @ref simSeconds is engine execution only — harnesses must not wrap
+ *  their own clocks around the call (they used to time build+simulate
+ *  together, inconsistently between figures). */
 struct SystolicRun {
     sim::SimReport report;
     int64_t sramReadBytes = 0;
     int64_t sramWriteBytes = 0;
     double ofmapWriteBw = 0.0;
+    double buildSeconds = 0.0; ///< module (re)build; 0 when reused
+    double simSeconds = 0.0;   ///< engine wall time (report.wallSeconds)
 };
 
+/**
+ * Per-worker systolic simulation state for sharded sweeps: one
+ * ir::Context and one sim::Simulator live for the whole sweep
+ * (dialect registration and name interning happen once per worker),
+ * and the built module plus its sim::BatchSession persist until a
+ * point's structural parameters change — repeated runs of an unchanged
+ * point reuse the module, its value numbering, and the dispatch
+ * tables. Distinct points rebuild all three: a session's first run
+ * must renumber/rebuild (see BatchSession), and that setup is
+ * microseconds next to simulating the point.
+ */
+class SystolicWorker {
+  public:
+    SystolicWorker() { ir::registerAllDialects(_ctx); }
+
+    SystolicRun
+    run(const scalesim::Config &cfg)
+    {
+        using clock = std::chrono::steady_clock;
+        SystolicRun out;
+        if (!_session || _cfg != cfg) {
+            auto b0 = clock::now();
+            _session.reset(); // session pins the module; drop it first
+            _module = systolic::buildSystolicModule(_ctx, cfg);
+            _session.emplace(_sim, _module.get());
+            _cfg = cfg;
+            out.buildSeconds =
+                std::chrono::duration<double>(clock::now() - b0).count();
+        }
+        out.report = _session->run();
+        out.simSeconds = out.report.wallSeconds;
+        for (const auto &m : out.report.memories) {
+            if (m.kind == "SRAM") {
+                out.sramReadBytes += m.bytesRead;
+                out.sramWriteBytes += m.bytesWritten;
+            }
+        }
+        out.ofmapWriteBw =
+            out.sramWriteBytes /
+            std::max<double>(1.0, double(out.report.cycles));
+        return out;
+    }
+
+  private:
+    ir::Context _ctx;
+    sim::Simulator _sim;
+    ir::OwningOpRef _module;
+    std::optional<sim::BatchSession> _session;
+    scalesim::Config _cfg;
+};
+
+/** One pool of workers sized for @p runner sharding @p num_points. */
+inline std::vector<std::unique_ptr<SystolicWorker>>
+makeSystolicWorkers(const sweep::SweepRunner &runner, size_t num_points)
+{
+    std::vector<std::unique_ptr<SystolicWorker>> workers;
+    unsigned n = runner.threadsFor(num_points);
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.push_back(std::make_unique<SystolicWorker>());
+    return workers;
+}
+
+/** One-shot convenience: simulate @p cfg with fresh state. */
 inline SystolicRun
 runSystolic(const scalesim::Config &cfg)
 {
-    ir::Context ctx;
-    ir::registerAllDialects(ctx);
-    auto module = systolic::buildSystolicModule(ctx, cfg);
-    sim::Simulator s;
-    SystolicRun run;
-    run.report = s.simulate(module.get());
-    for (const auto &m : run.report.memories) {
-        if (m.kind == "SRAM") {
-            run.sramReadBytes += m.bytesRead;
-            run.sramWriteBytes += m.bytesWritten;
-        }
-    }
-    run.ofmapWriteBw =
-        run.sramWriteBytes /
-        std::max<double>(1.0, double(run.report.cycles));
-    return run;
+    SystolicWorker worker;
+    return worker.run(cfg);
 }
 
 /** True when the full (slow) sweep was requested via EQ_FULL_SWEEP=1. */
@@ -54,6 +121,131 @@ fullSweepRequested()
 {
     const char *env = std::getenv("EQ_FULL_SWEEP");
     return env && std::string(env) == "1";
+}
+
+/**
+ * The command-line surface shared by every harness:
+ *   --threads N   worker threads (overrides EQ_SWEEP_THREADS)
+ *   --csv PATH    write the result table as CSV
+ *   --json PATH   write the result table as JSON
+ *   --no-wall     omit wall-clock columns (so tables from different
+ *                 thread counts / machines compare byte-identically)
+ * Unrecognized arguments are preserved in @ref positional for
+ * harness-specific parsing (e.g. systolic_explorer's shape).
+ */
+struct HarnessArgs {
+    unsigned threads = 0;
+    std::string csvPath;
+    std::string jsonPath;
+    bool noWall = false;
+    std::vector<std::string> positional;
+
+    static HarnessArgs
+    parse(int argc, char **argv)
+    {
+        HarnessArgs a;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "missing value for %s\n",
+                                 arg.c_str());
+                    std::exit(2);
+                }
+                return argv[++i];
+            };
+            if (arg == "--threads") {
+                std::string v = next();
+                char *end = nullptr;
+                long n = std::strtol(v.c_str(), &end, 10);
+                if (n <= 0 || end == v.c_str() || *end != '\0') {
+                    std::fprintf(stderr,
+                                 "--threads expects a positive "
+                                 "integer, got '%s'\n",
+                                 v.c_str());
+                    std::exit(2);
+                }
+                a.threads = static_cast<unsigned>(n);
+            }
+            else if (arg == "--csv")
+                a.csvPath = next();
+            else if (arg == "--json")
+                a.jsonPath = next();
+            else if (arg == "--no-wall")
+                a.noWall = true;
+            else if (arg.rfind("--", 0) == 0) {
+                std::fprintf(stderr, "unknown option '%s'\n",
+                             arg.c_str());
+                std::exit(2);
+            } else
+                a.positional.push_back(std::move(arg));
+        }
+        return a;
+    }
+
+    sweep::RunnerOptions
+    runnerOptions() const
+    {
+        sweep::RunnerOptions o;
+        o.threads = threads;
+        return o;
+    }
+
+    /** Print @p table to stdout and write any requested CSV/JSON.
+     *  With --no-wall, wall-clock columns (by convention named with an
+     *  `_s` seconds suffix) are dropped, leaving only deterministic
+     *  simulated metrics — tables then compare byte-identically across
+     *  thread counts and machines. */
+    void
+    emit(const sweep::Table &table) const
+    {
+        if (noWall) {
+            emitAll(table.filterColumns([](const sweep::Column &c) {
+                const std::string suffix = "_s";
+                return c.name.size() < suffix.size() ||
+                       c.name.compare(c.name.size() - suffix.size(),
+                                      suffix.size(), suffix) != 0;
+            }));
+        } else {
+            emitAll(table);
+        }
+    }
+
+  private:
+    void
+    emitAll(const sweep::Table &out) const
+    {
+        out.emitText(std::cout);
+        auto writeFile = [&](const std::string &path, bool json) {
+            std::ofstream f(path);
+            if (json)
+                out.emitJson(f);
+            else
+                out.emitCsv(f);
+            f.flush();
+            if (!f) {
+                std::fprintf(stderr, "failed to write %s\n",
+                             path.c_str());
+                std::exit(1);
+            }
+            std::printf("# wrote %s\n", path.c_str());
+        };
+        if (!csvPath.empty())
+            writeFile(csvPath, /*json=*/false);
+        if (!jsonPath.empty())
+            writeFile(jsonPath, /*json=*/true);
+    }
+};
+
+/** The dataflow axis every systolic sweep shares (axis value -> df). */
+inline scalesim::Dataflow
+dataflowFromAxis(int64_t v)
+{
+    switch (v) {
+    case 0: return scalesim::Dataflow::WS;
+    case 1: return scalesim::Dataflow::IS;
+    default: return scalesim::Dataflow::OS;
+    }
 }
 
 } // namespace bench

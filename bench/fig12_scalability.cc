@@ -5,12 +5,16 @@
  * {2..32}, Fh = Fw = C in {1,2,4}, N in {1..32}, all three dataflows
  * (4,050 points in the paper).
  *
- * By default a stratified sample runs (keeps the harness minutes-fast);
- * set EQ_FULL_SWEEP=1 for the complete grid.
+ * The sweep runs through the SweepRunner subsystem: points shard across
+ * a worker pool (one Context + Simulator per worker), so the full grid
+ * (EQ_FULL_SWEEP=1) is minutes-fast on a multicore host instead of an
+ * opt-in marathon. Rows are ordered by point index — byte-identical for
+ * any thread count (EQ_SWEEP_THREADS or --threads N).
  *
  * Columns: simulated cycles (x-axis of every subplot), simulator
  * execution time (12a), SRAM peak write BW x portion (12b), and loop
- * iterations = ceil(D1/Ah)*ceil(D2/Aw) (12c-e).
+ * iterations = ceil(D1/Ah)*ceil(D2/Aw) (12c-e). --csv/--json emit the
+ * table for plotting.
  */
 
 #include <cstdio>
@@ -21,63 +25,78 @@
 using namespace eq;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto args = bench::HarnessArgs::parse(argc, argv);
     const bool full = bench::fullSweepRequested();
-    std::vector<int> ahs = full ? std::vector<int>{2, 4, 8, 16, 32}
-                                : std::vector<int>{2, 8, 32};
-    std::vector<int> hws = full ? std::vector<int>{2, 4, 8, 16, 32}
-                                : std::vector<int>{4, 16};
-    std::vector<int> fcs = full ? std::vector<int>{1, 2, 4}
-                                : std::vector<int>{1, 2};
-    std::vector<int> ns = full ? std::vector<int>{1, 2, 4, 8, 16, 32}
-                               : std::vector<int>{2, 8};
 
-    std::printf("# Fig 12: scalability sweep (%s)\n",
-                full ? "full grid" : "sampled; EQ_FULL_SWEEP=1 for all");
-    std::printf("%-4s %-3s %-3s %-3s %-3s %-3s %12s %10s %14s %10s\n",
-                "df", "Ah", "Aw", "HW", "F", "N", "cycles", "wall_s",
-                "peakWBWxPort", "loopIters");
+    sweep::Grid grid;
+    grid.axis("df", {0, 1, 2})
+        .axis("ah", full ? std::vector<int64_t>{2, 4, 8, 16, 32}
+                         : std::vector<int64_t>{2, 8, 32})
+        .axis("hw", full ? std::vector<int64_t>{2, 4, 8, 16, 32}
+                         : std::vector<int64_t>{4, 16})
+        .axis("f", full ? std::vector<int64_t>{1, 2, 4}
+                        : std::vector<int64_t>{1, 2})
+        .axis("n", full ? std::vector<int64_t>{1, 2, 4, 8, 16, 32}
+                        : std::vector<int64_t>{2, 8})
+        .filter([](const sweep::Point &p) {
+            // Filter must fit inside the ifmap.
+            return p.at("hw") >= p.at("f");
+        });
 
-    int count = 0;
-    for (auto df : {scalesim::Dataflow::WS, scalesim::Dataflow::IS,
-                    scalesim::Dataflow::OS}) {
-        for (int ah : ahs) {
-            for (int hw : hws) {
-                for (int f : fcs) {
-                    for (int n : ns) {
-                        scalesim::Config cfg;
-                        cfg.ah = ah;
-                        cfg.aw = 64 / ah;
-                        cfg.c = f;
-                        cfg.h = cfg.w = hw;
-                        cfg.n = n;
-                        cfg.fh = cfg.fw = f;
-                        cfg.dataflow = df;
-                        if (cfg.h < cfg.fh)
-                            continue;
-                        auto run = bench::runSystolic(cfg);
-                        auto ss = scalesim::simulate(cfg);
-                        std::printf("%-4s %-3d %-3d %-3d %-3d %-3d "
-                                    "%12llu %10.4f %14.3f %10llu\n",
-                                    scalesim::dataflowName(df).c_str(),
-                                    ah, cfg.aw, hw, f, n,
-                                    static_cast<unsigned long long>(
-                                        run.report.cycles),
-                                    run.report.wallSeconds,
-                                    ss.peakWriteBwTimesPortion,
-                                    static_cast<unsigned long long>(
-                                        ss.loopIterations));
-                        ++count;
-                    }
-                }
-            }
-        }
-    }
-    std::printf("# %d configurations simulated; execution time scales "
-                "with cycle count (12a);\n"
-                "# loop iterations follow ceil(D1/Ah)*ceil(D2/Aw) "
-                "(12c-e).\n",
-                count);
+    sweep::SweepRunner runner(args.runnerOptions());
+    auto points = grid.points();
+    auto workers = bench::makeSystolicWorkers(runner, points.size());
+
+    std::printf("# Fig 12: scalability sweep (%s; %u threads)\n",
+                full ? "full grid" : "sampled; EQ_FULL_SWEEP=1 for all",
+                runner.threadsFor(points.size()));
+
+    std::vector<sweep::Column> schema{
+        {"df", sweep::ValueKind::Str, 4, 0},
+        {"Ah", sweep::ValueKind::Int, 3, 0},
+        {"Aw", sweep::ValueKind::Int, 3, 0},
+        {"HW", sweep::ValueKind::Int, 3, 0},
+        {"F", sweep::ValueKind::Int, 3, 0},
+        {"N", sweep::ValueKind::Int, 3, 0},
+        {"cycles", sweep::ValueKind::Int, 12, 0},
+        {"wall_s", sweep::ValueKind::Real, 10, 4},
+        {"peakWBWxPort", sweep::ValueKind::Real, 14, 3},
+        {"loopIters", sweep::ValueKind::Int, 10, 0},
+    };
+
+    auto table = runner.run(
+        points, schema,
+        [&](const sweep::Point &p, unsigned w) -> std::vector<sweep::Cell> {
+            scalesim::Config cfg;
+            cfg.ah = static_cast<int>(p.at("ah"));
+            cfg.aw = 64 / cfg.ah;
+            cfg.c = static_cast<int>(p.at("f"));
+            cfg.h = cfg.w = static_cast<int>(p.at("hw"));
+            cfg.n = static_cast<int>(p.at("n"));
+            cfg.fh = cfg.fw = static_cast<int>(p.at("f"));
+            cfg.dataflow = bench::dataflowFromAxis(p.at("df"));
+            auto run = workers[w]->run(cfg);
+            auto ss = scalesim::simulate(cfg);
+            return {scalesim::dataflowName(cfg.dataflow),
+                    cfg.ah,
+                    cfg.aw,
+                    cfg.h,
+                    cfg.fh,
+                    cfg.n,
+                    static_cast<int64_t>(run.report.cycles),
+                    run.simSeconds,
+                    ss.peakWriteBwTimesPortion,
+                    static_cast<int64_t>(ss.loopIterations)};
+        });
+
+    args.emit(table);
+    auto wall = table.summarize("wall_s");
+    std::printf("# %zu configurations simulated; engine time "
+                "total %.3fs (mean %.4fs/point); execution time scales\n"
+                "# with cycle count (12a); loop iterations follow "
+                "ceil(D1/Ah)*ceil(D2/Aw) (12c-e).\n",
+                table.numRows(), wall.sum, wall.mean);
     return 0;
 }

@@ -5,6 +5,8 @@
  * simulated cycles and average SRAM ofmap write bandwidth for both
  * simulators, plus wall-clock execution time (the §VI-C cost
  * comparison: SCALE-Sim <= 1.1 s vs EQueue <= 7.2 s in the paper).
+ * Engine build and simulate time are reported separately (the helper
+ * times itself; eq_wall_s is pure engine execution).
  */
 
 #include <chrono>
@@ -13,40 +15,62 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace eq;
+    auto args = bench::HarnessArgs::parse(argc, argv);
     std::printf("# Fig 9a/9b: 4x4 WS array, weights fixed at 2x2x3, "
                 "ifmap swept\n");
-    std::printf("%-8s %12s %12s %16s %16s %12s %12s\n", "ifmap",
-                "eq_cycles", "ss_cycles", "eq_ofmap_wr_bw",
-                "ss_ofmap_wr_bw", "eq_wall_s", "ss_wall_s");
 
-    for (int hw : {2, 4, 8, 16, 32}) {
-        scalesim::Config cfg;
-        cfg.ah = cfg.aw = 4;
-        cfg.c = 3;
-        cfg.h = cfg.w = hw;
-        cfg.n = 1;
-        cfg.fh = cfg.fw = 2;
-        cfg.dataflow = scalesim::Dataflow::WS;
-        if (cfg.h < cfg.fh)
-            continue;
+    // Every swept ifmap already fits the fixed 2x2 filter (hw >= fh).
+    sweep::Grid grid;
+    grid.axis("hw", {2, 4, 8, 16, 32});
 
-        auto t0 = std::chrono::steady_clock::now();
-        auto eq_run = bench::runSystolic(cfg);
-        auto t1 = std::chrono::steady_clock::now();
-        auto ss = scalesim::simulate(cfg);
-        auto t2 = std::chrono::steady_clock::now();
+    std::vector<sweep::Column> schema{
+        {"ifmap", sweep::ValueKind::Str, 8, 0},
+        {"eq_cycles", sweep::ValueKind::Int, 12, 0},
+        {"ss_cycles", sweep::ValueKind::Int, 12, 0},
+        {"eq_ofmap_wr_bw", sweep::ValueKind::Real, 16, 4},
+        {"ss_ofmap_wr_bw", sweep::ValueKind::Real, 16, 4},
+        {"eq_build_s", sweep::ValueKind::Real, 12, 4},
+        {"eq_wall_s", sweep::ValueKind::Real, 12, 4},
+        {"ss_wall_s", sweep::ValueKind::Real, 12, 6},
+    };
 
-        std::printf("%dx%-6d %12llu %12llu %16.4f %16.4f %12.4f %12.6f\n",
-                    hw, hw,
-                    static_cast<unsigned long long>(eq_run.report.cycles),
-                    static_cast<unsigned long long>(ss.cycles),
-                    eq_run.ofmapWriteBw, ss.avgOfmapWriteBw,
-                    std::chrono::duration<double>(t1 - t0).count(),
-                    std::chrono::duration<double>(t2 - t1).count());
-    }
+    sweep::SweepRunner runner(args.runnerOptions());
+    auto points = grid.points();
+    auto workers = bench::makeSystolicWorkers(runner, points.size());
+
+    auto table = runner.run(
+        points, schema,
+        [&](const sweep::Point &p, unsigned w) -> std::vector<sweep::Cell> {
+            int hw = static_cast<int>(p.at("hw"));
+            scalesim::Config cfg;
+            cfg.ah = cfg.aw = 4;
+            cfg.c = 3;
+            cfg.h = cfg.w = hw;
+            cfg.n = 1;
+            cfg.fh = cfg.fw = 2;
+            cfg.dataflow = scalesim::Dataflow::WS;
+
+            auto run = workers[w]->run(cfg);
+            auto t0 = std::chrono::steady_clock::now();
+            auto ss = scalesim::simulate(cfg);
+            double ss_wall =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            return {std::to_string(hw) + "x" + std::to_string(hw),
+                    static_cast<int64_t>(run.report.cycles),
+                    static_cast<int64_t>(ss.cycles),
+                    run.ofmapWriteBw,
+                    ss.avgOfmapWriteBw,
+                    run.buildSeconds,
+                    run.simSeconds,
+                    ss_wall};
+        });
+
+    args.emit(table);
     std::printf("# paper: EQueue matches SCALE-Sim on both metrics; the\n"
                 "# event-queue simulator pays a constant-factor wall-time "
                 "cost.\n");

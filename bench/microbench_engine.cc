@@ -54,6 +54,30 @@ BM_SimulateSystolic(benchmark::State &state)
 BENCHMARK(BM_SimulateSystolic)->Arg(4)->Arg(8)->Arg(16);
 
 void
+BM_BatchSessionReuse(benchmark::State &state)
+{
+    // Batched re-runs of one pinned module: amortizes module build,
+    // value numbering, and the dispatch table (vs BM_SimulateSystolic,
+    // which pays module construction + full setup per run).
+    scalesim::Config cfg;
+    cfg.ah = cfg.aw = 4;
+    cfg.c = 2;
+    cfg.h = cfg.w = static_cast<int>(state.range(0));
+    cfg.n = 2;
+    cfg.fh = cfg.fw = 2;
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = systolic::buildSystolicModule(ctx, cfg);
+    sim::Simulator s;
+    sim::BatchSession session(s, module.get());
+    for (auto _ : state) {
+        auto rep = session.run();
+        benchmark::DoNotOptimize(rep.cycles);
+    }
+}
+BENCHMARK(BM_BatchSessionReuse)->Arg(4)->Arg(8)->Arg(16);
+
+void
 BM_ScaleSimAnalytic(benchmark::State &state)
 {
     scalesim::Config cfg;

@@ -14,6 +14,8 @@
 #include <fstream>
 #include <string>
 
+#include "bench_util.hh"
+
 namespace {
 
 int
@@ -59,8 +61,9 @@ countLines(const std::string &path, bool only_dataflow_dependent)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto args = eq::bench::HarnessArgs::parse(argc, argv);
     const char *gen_cc = "../src/systolic/generator.cc";
     const char *gen_hh = "../src/systolic/generator.hh";
     // Allow running from the repo root as well as from build/.
@@ -84,14 +87,17 @@ main()
 
     std::printf("# Section VI-C: implementation size and WS->IS switch "
                 "cost\n");
-    std::printf("%-34s %10s %14s\n", "implementation", "LOC",
-                "WS->IS delta");
-    std::printf("%-34s %10d %14d\n",
-                "this repo: EQueue generator (C++)", total, switch_cost);
-    std::printf("%-34s %10d %14d\n", "paper: EQueue generator (C++)", 281,
-                11);
-    std::printf("%-34s %10d %14d\n", "paper: SCALE-Sim (Python)", 569,
-                410);
+    eq::sweep::Table table(std::vector<eq::sweep::Column>{
+        {"implementation", eq::sweep::ValueKind::Str, 34, 0},
+        {"LOC", eq::sweep::ValueKind::Int, 10, 0},
+        {"ws_is_delta", eq::sweep::ValueKind::Int, 14, 0},
+    });
+    table.addRow({"this repo: EQueue generator (C++)",
+                  static_cast<int64_t>(total),
+                  static_cast<int64_t>(switch_cost)});
+    table.addRow({"paper: EQueue generator (C++)", 281, 11});
+    table.addRow({"paper: SCALE-Sim (Python)", 569, 410});
+    args.emit(table);
     std::printf("# shape: all three dataflows share one generator; the "
                 "dataflow-dependent\n"
                 "# lines are an order of magnitude fewer than a one-off "

@@ -2,76 +2,88 @@
  * @file
  * Design-space exploration of systolic convolution accelerators
  * (Section VI): pick an array shape and convolution on the command
- * line, simulate all three dataflows with the EQueue engine, and
- * cross-check against the SCALE-Sim analytic baseline.
+ * line, simulate all three dataflows with the EQueue engine through the
+ * sweep subsystem (sharded across workers, results in a typed table),
+ * and cross-check against the SCALE-Sim analytic baseline.
  *
- *   $ ./systolic_explorer [Ah Aw H N Fh C]      (defaults: 4 4 16 4 3 3)
+ *   $ ./systolic_explorer [Ah Aw H N Fh C] [--threads N]
+ *                         [--csv F] [--json F]     (defaults: 4 4 16 4 3 3)
  */
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "ir/builder.hh"
-#include "scalesim/scalesim.hh"
-#include "sim/engine.hh"
-#include "systolic/generator.hh"
+#include "bench_util.hh"
 
 using namespace eq;
 
 int
 main(int argc, char **argv)
 {
-    scalesim::Config cfg;
-    cfg.ah = argc > 1 ? std::atoi(argv[1]) : 4;
-    cfg.aw = argc > 2 ? std::atoi(argv[2]) : 4;
-    cfg.h = cfg.w = argc > 3 ? std::atoi(argv[3]) : 16;
-    cfg.n = argc > 4 ? std::atoi(argv[4]) : 4;
-    cfg.fh = cfg.fw = argc > 5 ? std::atoi(argv[5]) : 3;
-    cfg.c = argc > 6 ? std::atoi(argv[6]) : 3;
-    if (cfg.h < cfg.fh) {
+    auto args = bench::HarnessArgs::parse(argc, argv);
+    auto &pos = args.positional;
+    auto posInt = [&](size_t i, int dflt) {
+        return i < pos.size() ? std::atoi(pos[i].c_str()) : dflt;
+    };
+    scalesim::Config base;
+    base.ah = posInt(0, 4);
+    base.aw = posInt(1, 4);
+    base.h = base.w = posInt(2, 16);
+    base.n = posInt(3, 4);
+    base.fh = base.fw = posInt(4, 3);
+    base.c = posInt(5, 3);
+    if (base.h < base.fh) {
         std::fprintf(stderr, "filter larger than ifmap\n");
         return 1;
     }
 
     std::printf("array %dx%d, ifmap %dx%dx%d, %d filters of %dx%dx%d\n",
-                cfg.ah, cfg.aw, cfg.c, cfg.h, cfg.w, cfg.n, cfg.fh,
-                cfg.fw, cfg.c);
-    std::printf("%-4s %10s %10s %8s %12s %12s %10s\n", "df", "eq_cyc",
-                "ss_cyc", "folds", "sram_rd_B", "sram_wr_B", "util%");
+                base.ah, base.aw, base.c, base.h, base.w, base.n,
+                base.fh, base.fw, base.c);
 
-    for (auto df : {scalesim::Dataflow::WS, scalesim::Dataflow::IS,
-                    scalesim::Dataflow::OS}) {
-        cfg.dataflow = df;
-        ir::Context ctx;
-        ir::registerAllDialects(ctx);
-        auto module = systolic::buildSystolicModule(ctx, cfg);
-        sim::Simulator s;
-        auto rep = s.simulate(module.get());
-        auto ss = scalesim::simulate(cfg);
+    sweep::Grid grid;
+    grid.axis("df", {0, 1, 2});
 
-        int64_t rd = 0, wr = 0;
-        for (const auto &m : rep.memories) {
-            if (m.kind == "SRAM") {
-                rd += m.bytesRead;
-                wr += m.bytesWritten;
+    std::vector<sweep::Column> schema{
+        {"df", sweep::ValueKind::Str, 4, 0},
+        {"eq_cyc", sweep::ValueKind::Int, 10, 0},
+        {"ss_cyc", sweep::ValueKind::Int, 10, 0},
+        {"folds", sweep::ValueKind::Int, 8, 0},
+        {"sram_rd_B", sweep::ValueKind::Int, 12, 0},
+        {"sram_wr_B", sweep::ValueKind::Int, 12, 0},
+        {"util_pct", sweep::ValueKind::Real, 10, 1},
+    };
+
+    sweep::SweepRunner runner(args.runnerOptions());
+    auto points = grid.points();
+    auto workers = bench::makeSystolicWorkers(runner, points.size());
+
+    auto table = runner.run(
+        points, schema,
+        [&](const sweep::Point &p, unsigned w) -> std::vector<sweep::Cell> {
+            scalesim::Config cfg = base;
+            cfg.dataflow = bench::dataflowFromAxis(p.at("df"));
+            auto run = workers[w]->run(cfg);
+            auto ss = scalesim::simulate(cfg);
+
+            double mac_util = 0.0;
+            int macs = 0;
+            for (const auto &pr : run.report.processors) {
+                if (pr.kind == "MAC") {
+                    mac_util += pr.utilization;
+                    ++macs;
+                }
             }
-        }
-        double mac_util = 0.0;
-        int macs = 0;
-        for (const auto &p : rep.processors) {
-            if (p.kind == "MAC") {
-                mac_util += p.utilization;
-                ++macs;
-            }
-        }
-        std::printf("%-4s %10llu %10llu %8llu %12lld %12lld %10.1f\n",
-                    scalesim::dataflowName(df).c_str(),
-                    static_cast<unsigned long long>(rep.cycles),
-                    static_cast<unsigned long long>(ss.cycles),
-                    static_cast<unsigned long long>(ss.folds), static_cast<long long>(rd),
-                    static_cast<long long>(wr),
-                    macs ? 100.0 * mac_util / macs : 0.0);
-    }
+            return {scalesim::dataflowName(cfg.dataflow),
+                    static_cast<int64_t>(run.report.cycles),
+                    static_cast<int64_t>(ss.cycles),
+                    static_cast<int64_t>(ss.folds),
+                    run.sramReadBytes,
+                    run.sramWriteBytes,
+                    macs ? 100.0 * mac_util / macs : 0.0};
+        });
+
+    args.emit(table);
     std::printf("pick the dataflow minimizing ceil(D1/Ah)*ceil(D2/Aw) "
                 "(Section VI-E).\n");
     return 0;

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Benchmark trend gate: fail when tracked benchmarks regress.
+
+Compares two google-benchmark JSON outputs (the uploaded
+BENCH_engine.json baseline vs the current run) and exits nonzero when
+any tracked benchmark's cpu_time regressed by more than the threshold
+(ROADMAP "Perf trajectory tracking").
+
+Usage:
+    check_bench_trend.py BASELINE.json CURRENT.json \
+        [--threshold 0.20] [--track PREFIX ...]
+
+Benchmarks are matched by exact name ("BM_SimulateSystolic/8"); the
+--track prefixes select which families gate the build (default:
+BM_SimulateSystolic and BM_EventDispatch). Untracked benchmarks are
+reported informationally. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="max tolerated fractional regression (0.20 = +20%%)")
+    ap.add_argument("--track", nargs="*",
+                    default=["BM_SimulateSystolic", "BM_EventDispatch"],
+                    help="benchmark-name prefixes that gate the build")
+    ap.add_argument("--metric", default="cpu_time",
+                    choices=["cpu_time", "real_time"])
+    args = ap.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    curr = load_benchmarks(args.current)
+
+    failures = []
+    rows = []
+    for name in sorted(curr):
+        if name not in base:
+            rows.append((name, None, curr[name][args.metric], None, "new"))
+            continue
+        b = base[name][args.metric]
+        c = curr[name][args.metric]
+        delta = (c - b) / b if b else 0.0
+        tracked = any(name.startswith(p) for p in args.track)
+        status = "ok"
+        if tracked and delta > args.threshold:
+            status = "REGRESSION"
+            failures.append((name, delta))
+        elif not tracked:
+            status = "untracked"
+        rows.append((name, b, c, delta, status))
+
+    namew = max((len(r[0]) for r in rows), default=4)
+    print(f"{'benchmark':<{namew}} {'baseline':>12} {'current':>12} "
+          f"{'delta':>8}  status")
+    for name, b, c, delta, status in rows:
+        bs = f"{b:12.1f}" if b is not None else f"{'-':>12}"
+        ds = f"{delta:+7.1%}" if delta is not None else f"{'-':>8}"
+        print(f"{name:<{namew}} {bs} {c:12.1f} {ds}  {status}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} tracked benchmark(s) regressed "
+              f"more than {args.threshold:.0%}:", file=sys.stderr)
+        for name, delta in failures:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no tracked benchmark regressed more than "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * InlineFunction: a move-only std::function replacement with a
+ * small-buffer-optimized inline store sized for the engine's event
+ * callbacks (a this-pointer plus a few cycle counters). Callables that
+ * fit the buffer are stored inline — scheduling a suspended op performs
+ * no heap allocation; larger callables spill to the heap transparently.
+ *
+ * Motivation (ROADMAP "Event-core allocation pressure"): the event heap
+ * and every Event's completion list used to hold std::function, whose
+ * 16-byte libstdc++ inline store is too small for the engine's
+ * 24-32 byte capture lists, so every suspended op allocated. The
+ * default 48-byte buffer covers every callback the engine creates.
+ */
+
+#ifndef EQ_BASE_INLINE_FUNCTION_HH
+#define EQ_BASE_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace eq {
+
+template <typename Sig, size_t Cap = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t Cap>
+class InlineFunction<R(Args...), Cap> {
+  public:
+    InlineFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F &&f)
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&o) noexcept { moveFrom(o); }
+
+    InlineFunction &
+    operator=(InlineFunction &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { destroy(); }
+
+    explicit operator bool() const { return _ops != nullptr; }
+
+    R
+    operator()(Args... args) const
+    {
+        eq_assert(_ops, "invoking an empty InlineFunction");
+        return _ops->invoke(storage(), std::forward<Args>(args)...);
+    }
+
+  private:
+    /** Per-callable-type vtable: one static instance per F. */
+    struct Ops {
+        R (*invoke)(void *, Args &&...);
+        /** Move the callable from @p src into @p dst's store. */
+        void (*relocate)(void *src, InlineFunction *dst);
+        void (*destroy)(void *);
+    };
+
+    template <typename F, bool Inline>
+    struct OpsFor {
+        static R
+        invoke(void *p, Args &&...args)
+        {
+            return (*static_cast<F *>(p))(std::forward<Args>(args)...);
+        }
+        static void
+        relocate(void *src, InlineFunction *dst)
+        {
+            if constexpr (Inline) {
+                ::new (static_cast<void *>(dst->_buf))
+                    F(std::move(*static_cast<F *>(src)));
+                static_cast<F *>(src)->~F();
+            } else {
+                dst->_heap = src; // steal the allocation
+            }
+        }
+        static void
+        destroy(void *p)
+        {
+            if constexpr (Inline)
+                static_cast<F *>(p)->~F();
+            else
+                delete static_cast<F *>(p);
+        }
+        static constexpr Ops ops = {invoke, relocate, destroy};
+    };
+
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        constexpr bool fits =
+            sizeof(Fn) <= Cap && alignof(Fn) <= alignof(std::max_align_t);
+        if constexpr (fits) {
+            ::new (static_cast<void *>(_buf)) Fn(std::forward<F>(f));
+            _ops = &OpsFor<Fn, true>::ops;
+            _inline = true;
+        } else {
+            _heap = new Fn(std::forward<F>(f));
+            _ops = &OpsFor<Fn, false>::ops;
+            _inline = false;
+        }
+    }
+
+    void *
+    storage() const
+    {
+        return _inline ? const_cast<unsigned char *>(_buf) : _heap;
+    }
+
+    void
+    moveFrom(InlineFunction &o) noexcept
+    {
+        _ops = o._ops;
+        _inline = o._inline;
+        if (_ops)
+            _ops->relocate(o.storage(), this);
+        o._ops = nullptr;
+    }
+
+    void
+    destroy()
+    {
+        if (_ops) {
+            _ops->destroy(storage());
+            _ops = nullptr;
+        }
+    }
+
+    union {
+        alignas(std::max_align_t) unsigned char _buf[Cap];
+        void *_heap;
+    };
+    const Ops *_ops = nullptr;
+    bool _inline = true;
+};
+
+} // namespace eq
+
+#endif // EQ_BASE_INLINE_FUNCTION_HH

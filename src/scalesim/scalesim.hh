@@ -57,6 +57,22 @@ struct Config {
     {
         return int64_t(n) * eh() * ew() * c * fh * fw;
     }
+
+    /** Structural identity: two equal configs generate identical
+     *  modules, so batched sweeps may reuse the built module. */
+    friend bool
+    operator==(const Config &a, const Config &b)
+    {
+        return a.ah == b.ah && a.aw == b.aw &&
+               a.dataflow == b.dataflow && a.c == b.c && a.h == b.h &&
+               a.w == b.w && a.n == b.n && a.fh == b.fh &&
+               a.fw == b.fw && a.elemBytes == b.elemBytes;
+    }
+    friend bool
+    operator!=(const Config &a, const Config &b)
+    {
+        return !(a == b);
+    }
 };
 
 /** Model outputs compared in Fig. 9. */

@@ -75,7 +75,42 @@ class Simulator {
     struct Impl;
 
   private:
+    friend class BatchSession;
     std::unique_ptr<Impl> _impl;
+};
+
+/**
+ * Batched runs of one unchanged module (ROADMAP "Batched runs").
+ *
+ * A session pins a module and amortizes per-run setup across repeated
+ * simulations: the module is verified once, the OpId dispatch table and
+ * (CostClass, OpId) cost table are rebuilt only when the module's
+ * context interns new op names, and the value-numbering scopes
+ * (ValueImpl slot assignments) survive between runs. Per-run state —
+ * components, buffers, events, the heap — still resets fully, so a
+ * batched run's report is cycle-identical to a fresh Simulator's.
+ *
+ * The pinned module must stay alive and structurally unchanged for the
+ * session's lifetime; when a sweep point changes structural parameters,
+ * build a new module and open a new session (the Simulator, with its
+ * registered op functions and component kinds, is reusable across
+ * sessions).
+ */
+class BatchSession {
+  public:
+    /** Pin @p module (kept alive by the caller) to @p sim. */
+    BatchSession(Simulator &sim, ir::Operation *module);
+
+    /** Simulate the pinned module once more. */
+    SimReport run();
+
+    ir::Operation *module() const { return _module; }
+    uint64_t runsCompleted() const { return _runs; }
+
+  private:
+    Simulator &_sim;
+    ir::Operation *_module;
+    uint64_t _runs = 0;
 };
 
 } // namespace sim

@@ -22,13 +22,13 @@
 #ifndef EQ_SIM_ENGINE_IMPL_HH
 #define EQ_SIM_ENGINE_IMPL_HH
 
+#include <algorithm>
 #include <array>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
+#include "base/inline_function.hh"
 #include "base/logging.hh"
 #include "sim/costmodel.hh"
 #include "sim/engine.hh"
@@ -37,6 +37,14 @@ namespace eq {
 namespace sim {
 
 class BlockExec;
+
+/** Scheduled-work callback. Small-buffer-optimized: the engine's
+ *  callbacks capture at most a this-pointer and a few counters, so
+ *  scheduling a suspended op never allocates (ROADMAP "Event-core
+ *  allocation pressure"). */
+using SchedFn = InlineFunction<void()>;
+/** Event-completion callback (receives the completion time). */
+using DoneFn = InlineFunction<void(Cycles)>;
 
 /**
  * Dense value environment for one numbering scope (an interpreted
@@ -102,7 +110,7 @@ struct Event {
     Cycles startTime = 0;
     Cycles doneTime = 0;
     std::vector<SimValue> results;
-    std::vector<std::function<void(Cycles)>> onDone;
+    std::vector<DoneFn> onDone;
 };
 
 /**
@@ -251,6 +259,10 @@ struct Simulator::Impl {
     /** Scope id source; never reset so stale ValueImpl numbering from
      *  earlier runs can never alias a live scope. 0 = "unnumbered". */
     uint32_t nextScopeId = 1;
+    /** Context the dispatch/cost tables were built against; batched
+     *  runs reuse the tables while this matches the module's context
+     *  and no new op names were interned since. */
+    ir::Context *dispatchCtx = nullptr;
 
     /** Slot-number @p root (cached); assigns ValueImpl::interpScope and
      *  interpSlot across the whole inline-interpreted block tree. */
@@ -263,23 +275,27 @@ struct Simulator::Impl {
     std::vector<std::unique_ptr<BufferObj>> buffers;
     std::vector<std::unique_ptr<Event>> events;
     std::vector<std::unique_ptr<BlockExec>> execs;
-    std::unordered_map<StreamFifo *, std::vector<std::function<void()>>>
-        streamWaiters;
+    std::unordered_map<StreamFifo *, std::vector<SchedFn>> streamWaiters;
     std::unique_ptr<Processor> rootProc;
 
+    /** One pending heap entry. The callback is an SBO functor, and the
+     *  heap is a hand-rolled binary heap over a plain vector (rather
+     *  than std::priority_queue, whose const top() would force a copy
+     *  of the move-only callback on every pop). */
     struct HeapItem {
         Cycles t;
         uint64_t seq;
-        std::function<void()> fn;
+        SchedFn fn;
+    };
+    /** Min-ordering on (time, sequence) for push_heap/pop_heap. */
+    struct HeapAfter {
         bool
-        operator>(const HeapItem &o) const
+        operator()(const HeapItem &a, const HeapItem &b) const
         {
-            return std::tie(t, seq) > std::tie(o.t, o.seq);
+            return std::tie(a.t, a.seq) > std::tie(b.t, b.seq);
         }
     };
-    std::priority_queue<HeapItem, std::vector<HeapItem>,
-                        std::greater<HeapItem>>
-        heap;
+    std::vector<HeapItem> heap;
     uint64_t seqCounter = 0;
     Cycles now = 0;
     Cycles endTime = 0;
@@ -288,13 +304,18 @@ struct Simulator::Impl {
     std::unordered_map<std::string, int> nameCounters;
 
     // --- event core (event_core.cc) -----------------------------------
-    void reset();
+    /** Clear per-run simulation state. Value numbering survives when
+     *  @p keep_numbering is set (batched re-runs of a pinned, unchanged
+     *  module); a full reset must clear it because destroyed blocks
+     *  from an earlier module could alias new block addresses. */
+    void reset(bool keep_numbering = false);
     std::string freshName(const std::string &base);
 
     void
-    scheduleAt(Cycles t, std::function<void()> fn)
+    scheduleAt(Cycles t, SchedFn fn)
     {
-        heap.push({t, seqCounter++, std::move(fn)});
+        heap.push_back({t, seqCounter++, std::move(fn)});
+        std::push_heap(heap.begin(), heap.end(), HeapAfter{});
     }
 
     void
@@ -315,11 +336,9 @@ struct Simulator::Impl {
     void completeEvent(Event *ev, Cycles t);
 
     /** Invoke @p fn(max completion time) once all of @p ids are done. */
-    void whenAllDone(const std::vector<EventId> &ids,
-                     std::function<void(Cycles)> fn);
+    void whenAllDone(const std::vector<EventId> &ids, DoneFn fn);
     /** Invoke @p fn(first completion time) once any of @p ids is done. */
-    void whenAnyDone(const std::vector<EventId> &ids,
-                     std::function<void(Cycles)> fn);
+    void whenAnyDone(const std::vector<EventId> &ids, DoneFn fn);
 
     void enqueueOnProcessor(Event *ev, Cycles t);
     void tryIssue(Processor *proc, Cycles t);
@@ -367,6 +386,15 @@ struct Simulator::Impl {
     }
 
     SimReport buildReport(double wall_seconds) const;
+
+    /** One simulation of @p module (engine.cc). With @p reuse_compiled
+     *  the dispatch/cost tables survive when still valid (same context,
+     *  no new interned names) and the value numbering survives too —
+     *  only safe when the previous run interpreted this same,
+     *  still-alive, unmodified module: a fresh module's blocks (or a
+     *  fresh context) could alias destroyed ones, so first runs must
+     *  pass false and rebuild everything. */
+    SimReport runModule(ir::Operation *module, bool reuse_compiled);
 };
 
 // ---------------------------------------------------------------------------

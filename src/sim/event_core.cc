@@ -15,22 +15,22 @@ namespace eq {
 namespace sim {
 
 void
-Simulator::Impl::reset()
+Simulator::Impl::reset(bool keep_numbering)
 {
     components.clear();
     buffers.clear();
     events.clear();
     execs.clear();
     streamWaiters.clear();
-    while (!heap.empty())
-        heap.pop();
+    heap.clear();
     seqCounter = 0;
     now = 0;
     endTime = 0;
     eventsExecuted = 0;
     opsExecuted = 0;
     nameCounters.clear();
-    valueScopes.clear();
+    if (!keep_numbering)
+        valueScopes.clear();
     traceData.clear();
     rootProc = std::make_unique<Processor>("host", "Root");
 }
@@ -68,8 +68,7 @@ Simulator::Impl::completeEvent(Event *ev, Cycles t)
 }
 
 void
-Simulator::Impl::whenAllDone(const std::vector<EventId> &ids,
-                             std::function<void(Cycles)> fn)
+Simulator::Impl::whenAllDone(const std::vector<EventId> &ids, DoneFn fn)
 {
     auto state = std::make_shared<std::pair<size_t, Cycles>>(0, 0);
     for (EventId id : ids) {
@@ -83,8 +82,7 @@ Simulator::Impl::whenAllDone(const std::vector<EventId> &ids,
         fn(state->second);
         return;
     }
-    auto shared_fn =
-        std::make_shared<std::function<void(Cycles)>>(std::move(fn));
+    auto shared_fn = std::make_shared<DoneFn>(std::move(fn));
     for (EventId id : ids) {
         Event *ev = event(id);
         if (ev->done)
@@ -98,8 +96,7 @@ Simulator::Impl::whenAllDone(const std::vector<EventId> &ids,
 }
 
 void
-Simulator::Impl::whenAnyDone(const std::vector<EventId> &ids,
-                             std::function<void(Cycles)> fn)
+Simulator::Impl::whenAnyDone(const std::vector<EventId> &ids, DoneFn fn)
 {
     for (EventId id : ids) {
         if (event(id)->done) {
@@ -108,8 +105,7 @@ Simulator::Impl::whenAnyDone(const std::vector<EventId> &ids,
         }
     }
     auto fired = std::make_shared<bool>(false);
-    auto shared_fn =
-        std::make_shared<std::function<void(Cycles)>>(std::move(fn));
+    auto shared_fn = std::make_shared<DoneFn>(std::move(fn));
     for (EventId id : ids) {
         event(id)->onDone.push_back([fired, shared_fn](Cycles t) {
             if (!*fired) {
@@ -243,8 +239,9 @@ void
 Simulator::Impl::runHeap()
 {
     while (!heap.empty()) {
-        HeapItem item = heap.top();
-        heap.pop();
+        std::pop_heap(heap.begin(), heap.end(), HeapAfter{});
+        HeapItem item = std::move(heap.back());
+        heap.pop_back();
         eq_assert(item.t >= now, "time went backwards in the scheduler");
         now = item.t;
         item.fn();

@@ -88,6 +88,7 @@ Simulator::Impl::makeEnv(ir::Block *root, EnvPtr parent)
 void
 Simulator::Impl::buildDispatchTable(ir::Context &ctx)
 {
+    dispatchCtx = &ctx;
     // Ids the interpreter's handlers compare against. Resolved before
     // the table is sized, so any name these intern is covered by it.
     idAffineFor = affine::ForOp::id(ctx);

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Structured result collection for parameter sweeps: a typed row table
+ * with a declared column schema, deterministic text/CSV/JSON emitters,
+ * and per-column summary statistics.
+ *
+ * Every experiment harness routes its rows through one of these instead
+ * of hand-rolled printf loops, so the same sweep can render the paper's
+ * aligned terminal tables, machine-readable CSV for plotting, or JSON
+ * for downstream tooling — byte-identically for identical rows, which
+ * is what the sweep-determinism tests compare across thread counts.
+ */
+
+#ifndef EQ_SWEEP_TABLE_HH
+#define EQ_SWEEP_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eq {
+namespace sweep {
+
+/** Cell/column value kinds. */
+enum class ValueKind { Int, Real, Str };
+
+/** One table cell: a tagged int64 / double / string. */
+class Cell {
+  public:
+    Cell() : _kind(ValueKind::Int), _i(0) {}
+    Cell(int64_t v) : _kind(ValueKind::Int), _i(v) {}
+    Cell(int v) : _kind(ValueKind::Int), _i(v) {}
+    Cell(unsigned v) : _kind(ValueKind::Int), _i(v) {}
+    Cell(uint64_t v) : _kind(ValueKind::Int), _i(static_cast<int64_t>(v)) {}
+    Cell(double v) : _kind(ValueKind::Real), _r(v) {}
+    Cell(std::string v) : _kind(ValueKind::Str), _s(std::move(v)) {}
+    Cell(const char *v) : _kind(ValueKind::Str), _s(v) {}
+
+    ValueKind kind() const { return _kind; }
+    int64_t asInt() const;
+    double asReal() const;
+    /** Numeric value of an Int or Real cell (for summaries). */
+    double asNumber() const;
+    const std::string &asStr() const;
+
+  private:
+    ValueKind _kind;
+    int64_t _i = 0;
+    double _r = 0.0;
+    std::string _s;
+};
+
+/** Schema entry: column name, kind, and text-rendering hints. */
+struct Column {
+    std::string name;
+    ValueKind kind = ValueKind::Int;
+    /** Minimum text width (0 = natural). */
+    int width = 0;
+    /** Fraction digits for Real cells (text, CSV, and JSON). */
+    int precision = 4;
+};
+
+/** Min/max/mean/sum over one numeric column. */
+struct ColumnSummary {
+    size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double sum = 0.0;
+};
+
+/** A schema-typed result table. */
+class Table {
+  public:
+    explicit Table(std::vector<Column> schema);
+
+    const std::vector<Column> &schema() const { return _schema; }
+    size_t numColumns() const { return _schema.size(); }
+    size_t numRows() const { return _rows.size(); }
+
+    /** Index of the named column; panics when absent. */
+    size_t columnIndex(const std::string &name) const;
+
+    /** Append a row; arity and cell kinds must match the schema. */
+    void addRow(std::vector<Cell> cells);
+
+    const Cell &at(size_t row, size_t col) const;
+    const std::vector<Cell> &row(size_t i) const { return _rows[i]; }
+
+    /** Aligned human-readable columns (header prefixed with '#'). */
+    void emitText(std::ostream &os) const;
+    /** RFC-4180-style CSV with a header line. */
+    void emitCsv(std::ostream &os) const;
+    /** JSON: {"columns": [...], "rows": [[...], ...]}. */
+    void emitJson(std::ostream &os) const;
+
+    /** The CSV emission as a string (what determinism tests compare). */
+    std::string csv() const;
+
+    /** Stats over a numeric (Int or Real) column; panics on Str. */
+    ColumnSummary summarize(const std::string &column) const;
+
+    /** A copy holding only the columns for which @p keep returns true
+     *  (e.g. dropping wall-clock columns before byte-comparing tables
+     *  from different thread counts). */
+    Table filterColumns(
+        const std::function<bool(const Column &)> &keep) const;
+
+  private:
+    std::string renderCell(const Cell &c, const Column &col) const;
+
+    std::vector<Column> _schema;
+    std::vector<std::vector<Cell>> _rows;
+};
+
+} // namespace sweep
+} // namespace eq
+
+#endif // EQ_SWEEP_TABLE_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * BatchSession semantics: batched re-runs of a pinned module must be
+ * observationally identical to a fresh Simulator per run — same cycles,
+ * same event/op counts, same memory traffic, same processor busy time —
+ * while actually reusing the dispatch tables and value numbering. Also
+ * covers the hazard cases: sessions across module rebuilds in one
+ * context, interleaved plain simulate() calls, and multiple live
+ * sessions on one Simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "sim/engine.hh"
+#include "systolic/generator.hh"
+
+namespace {
+
+using namespace eq;
+
+scalesim::Config
+smallConfig(int hw, scalesim::Dataflow df)
+{
+    scalesim::Config cfg;
+    cfg.ah = cfg.aw = 2;
+    cfg.c = 1;
+    cfg.h = cfg.w = hw;
+    cfg.n = 2;
+    cfg.fh = cfg.fw = 2;
+    cfg.dataflow = df;
+    return cfg;
+}
+
+/** Compare every deterministic field of two reports. */
+void
+expectReportsIdentical(const sim::SimReport &a, const sim::SimReport &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    EXPECT_EQ(a.opsExecuted, b.opsExecuted);
+    ASSERT_EQ(a.memories.size(), b.memories.size());
+    for (size_t i = 0; i < a.memories.size(); ++i) {
+        EXPECT_EQ(a.memories[i].name, b.memories[i].name);
+        EXPECT_EQ(a.memories[i].bytesRead, b.memories[i].bytesRead);
+        EXPECT_EQ(a.memories[i].bytesWritten, b.memories[i].bytesWritten);
+    }
+    ASSERT_EQ(a.processors.size(), b.processors.size());
+    for (size_t i = 0; i < a.processors.size(); ++i) {
+        EXPECT_EQ(a.processors[i].name, b.processors[i].name);
+        EXPECT_EQ(a.processors[i].busyCycles, b.processors[i].busyCycles);
+        EXPECT_EQ(a.processors[i].opsExecuted,
+                  b.processors[i].opsExecuted);
+    }
+    ASSERT_EQ(a.connections.size(), b.connections.size());
+    for (size_t i = 0; i < a.connections.size(); ++i) {
+        EXPECT_EQ(a.connections[i].readBytes, b.connections[i].readBytes);
+        EXPECT_EQ(a.connections[i].writeBytes,
+                  b.connections[i].writeBytes);
+    }
+}
+
+/** One fresh-everything run, the pre-batch baseline. */
+sim::SimReport
+freshRun(const scalesim::Config &cfg)
+{
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = systolic::buildSystolicModule(ctx, cfg);
+    sim::Simulator s;
+    return s.simulate(module.get());
+}
+
+TEST(BatchSessionTest, RepeatedRunsAreCycleIdentical)
+{
+    auto cfg = smallConfig(4, scalesim::Dataflow::WS);
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = systolic::buildSystolicModule(ctx, cfg);
+    sim::Simulator s;
+    sim::BatchSession session(s, module.get());
+
+    auto first = session.run();
+    expectReportsIdentical(first, freshRun(cfg));
+    for (int i = 0; i < 3; ++i)
+        expectReportsIdentical(session.run(), first);
+    EXPECT_EQ(session.runsCompleted(), 4u);
+}
+
+TEST(BatchSessionTest, MatchesFreshSimulatorAcrossConfigs)
+{
+    // The sweep-worker pattern: one context + simulator, module and
+    // session rebuilt per structural point.
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    sim::Simulator s;
+    for (int hw : {2, 3, 4}) {
+        for (auto df : {scalesim::Dataflow::WS, scalesim::Dataflow::OS}) {
+            auto cfg = smallConfig(hw, df);
+            auto module = systolic::buildSystolicModule(ctx, cfg);
+            sim::BatchSession session(s, module.get());
+            auto batched = session.run();
+            expectReportsIdentical(batched, freshRun(cfg));
+            // Second batched run exercises the numbering-reuse path.
+            expectReportsIdentical(session.run(), batched);
+        }
+    }
+}
+
+TEST(BatchSessionTest, SurvivesInterleavedPlainSimulate)
+{
+    auto cfg_a = smallConfig(4, scalesim::Dataflow::WS);
+    auto cfg_b = smallConfig(3, scalesim::Dataflow::OS);
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto mod_a = systolic::buildSystolicModule(ctx, cfg_a);
+    auto mod_b = systolic::buildSystolicModule(ctx, cfg_b);
+    sim::Simulator s;
+    sim::BatchSession session(s, mod_a.get());
+
+    auto baseline = session.run();
+    // A plain simulate() of another module fully resets numbering...
+    auto other = s.simulate(mod_b.get());
+    expectReportsIdentical(other, freshRun(cfg_b));
+    // ...and the session recovers (renumbering lazily) on its next run.
+    expectReportsIdentical(session.run(), baseline);
+}
+
+TEST(BatchSessionTest, TwoLiveSessionsAlternate)
+{
+    auto cfg_a = smallConfig(4, scalesim::Dataflow::WS);
+    auto cfg_b = smallConfig(2, scalesim::Dataflow::OS);
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto mod_a = systolic::buildSystolicModule(ctx, cfg_a);
+    auto mod_b = systolic::buildSystolicModule(ctx, cfg_b);
+    sim::Simulator s;
+    sim::BatchSession sa(s, mod_a.get());
+    sim::BatchSession sb(s, mod_b.get());
+
+    auto ra = sa.run();
+    auto rb = sb.run();
+    expectReportsIdentical(ra, freshRun(cfg_a));
+    expectReportsIdentical(rb, freshRun(cfg_b));
+    // Alternating keeps both correct (numbering for both modules can
+    // coexist; both stay alive for the session lifetimes).
+    expectReportsIdentical(sa.run(), ra);
+    expectReportsIdentical(sb.run(), rb);
+    expectReportsIdentical(sa.run(), ra);
+}
+
+TEST(BatchSessionTest, SessionAfterModuleRebuildAtSameAddressIsSafe)
+{
+    // The sweep-worker rebuild path: destroy the old module, build a
+    // new one (allocator may reuse addresses), open a new session. The
+    // first run of the new session must renumber from scratch.
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    sim::Simulator s;
+    auto cfg1 = smallConfig(4, scalesim::Dataflow::WS);
+    auto cfg2 = smallConfig(3, scalesim::Dataflow::IS);
+
+    ir::OwningOpRef module = systolic::buildSystolicModule(ctx, cfg1);
+    auto report1 = [&] {
+        sim::BatchSession session(s, module.get());
+        return session.run();
+    }();
+    expectReportsIdentical(report1, freshRun(cfg1));
+
+    module = systolic::buildSystolicModule(ctx, cfg2);
+    sim::BatchSession session(s, module.get());
+    expectReportsIdentical(session.run(), freshRun(cfg2));
+}
+
+} // namespace

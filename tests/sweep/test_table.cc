@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Table schema typing and the three emitters. The CSV/JSON byte
+ * layouts are pinned exactly: the sweep-determinism guarantee ("same
+ * rows, same bytes") only means something if the emitters themselves
+ * are deterministic and stable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sweep/table.hh"
+
+namespace {
+
+using namespace eq;
+using sweep::Cell;
+using sweep::Column;
+using sweep::ValueKind;
+
+sweep::Table
+sampleTable()
+{
+    sweep::Table t(std::vector<Column>{
+        {"name", ValueKind::Str, 6, 0},
+        {"cycles", ValueKind::Int, 8, 0},
+        {"bw", ValueKind::Real, 8, 3},
+    });
+    t.addRow({"ws", int64_t{120}, 1.5});
+    t.addRow({"os", int64_t{80}, 2.25});
+    return t;
+}
+
+TEST(TableTest, CsvBytesArePinned)
+{
+    EXPECT_EQ(sampleTable().csv(),
+              "name,cycles,bw\n"
+              "ws,120,1.500\n"
+              "os,80,2.250\n");
+}
+
+TEST(TableTest, JsonBytesArePinned)
+{
+    std::ostringstream os;
+    sampleTable().emitJson(os);
+    EXPECT_EQ(os.str(),
+              "{\n"
+              "  \"columns\": [\"name\", \"cycles\", \"bw\"],\n"
+              "  \"rows\": [\n"
+              "    [\"ws\", 120, 1.500],\n"
+              "    [\"os\", 80, 2.250]\n"
+              "  ]\n"
+              "}\n");
+}
+
+TEST(TableTest, TextAlignsAndPrefixesHeader)
+{
+    std::ostringstream os;
+    sampleTable().emitText(os);
+    EXPECT_EQ(os.str(),
+              "# name     cycles       bw\n"
+              "  ws          120    1.500\n"
+              "  os           80    2.250\n");
+}
+
+TEST(TableTest, CsvEscapesSeparatorsAndQuotes)
+{
+    sweep::Table t(std::vector<Column>{{"s", ValueKind::Str, 0, 0}});
+    t.addRow({"plain"});
+    t.addRow({"a,b"});
+    t.addRow({"q\"uote"});
+    EXPECT_EQ(t.csv(), "s\nplain\n\"a,b\"\n\"q\"\"uote\"\n");
+}
+
+TEST(TableTest, SummaryStats)
+{
+    auto s = sampleTable().summarize("cycles");
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_DOUBLE_EQ(s.min, 80.0);
+    EXPECT_DOUBLE_EQ(s.max, 120.0);
+    EXPECT_DOUBLE_EQ(s.sum, 200.0);
+    EXPECT_DOUBLE_EQ(s.mean, 100.0);
+
+    auto bw = sampleTable().summarize("bw");
+    EXPECT_DOUBLE_EQ(bw.mean, 1.875);
+}
+
+TEST(TableTest, FilterColumnsKeepsRowData)
+{
+    auto t = sampleTable().filterColumns(
+        [](const Column &c) { return c.name != "bw"; });
+    EXPECT_EQ(t.numColumns(), 2u);
+    EXPECT_EQ(t.csv(), "name,cycles\nws,120\nos,80\n");
+}
+
+TEST(TableTest, ColumnIndexLookup)
+{
+    auto t = sampleTable();
+    EXPECT_EQ(t.columnIndex("bw"), 2u);
+    EXPECT_EQ(t.at(1, t.columnIndex("cycles")).asInt(), 80);
+}
+
+TEST(TableTest, ArityMismatchPanics)
+{
+    auto t = sampleTable();
+    EXPECT_DEATH(t.addRow({"only-one"}), "row arity");
+}
+
+TEST(TableTest, KindMismatchPanics)
+{
+    auto t = sampleTable();
+    EXPECT_DEATH(t.addRow({"ws", 1.0, 1.0}), "kind mismatch");
+}
+
+TEST(TableTest, SummarizeStringColumnPanics)
+{
+    auto t = sampleTable();
+    EXPECT_DEATH(t.summarize("name"), "string column");
+}
+
+} // namespace
