@@ -57,7 +57,10 @@ struct SystolicRun {
  */
 class SystolicWorker {
   public:
-    SystolicWorker() { ir::registerAllDialects(_ctx); }
+    explicit SystolicWorker(sim::EngineOptions opts = {}) : _sim(opts)
+    {
+        ir::registerAllDialects(_ctx);
+    }
 
     SystolicRun
     run(const scalesim::Config &cfg)
@@ -97,13 +100,14 @@ class SystolicWorker {
 
 /** One pool of workers sized for @p runner sharding @p num_points. */
 inline std::vector<std::unique_ptr<SystolicWorker>>
-makeSystolicWorkers(const sweep::SweepRunner &runner, size_t num_points)
+makeSystolicWorkers(const sweep::SweepRunner &runner, size_t num_points,
+                    sim::EngineOptions opts = {})
 {
     std::vector<std::unique_ptr<SystolicWorker>> workers;
     unsigned n = runner.threadsFor(num_points);
     workers.reserve(n);
     for (unsigned i = 0; i < n; ++i)
-        workers.push_back(std::make_unique<SystolicWorker>());
+        workers.push_back(std::make_unique<SystolicWorker>(opts));
     return workers;
 }
 
@@ -130,6 +134,9 @@ fullSweepRequested()
  *   --json PATH   write the result table as JSON
  *   --no-wall     omit wall-clock columns (so tables from different
  *                 thread counts / machines compare byte-identically)
+ *   --backend B   engine backend: "interp" or "compiled" (overrides
+ *                 EQ_SIM_BACKEND; results are identical, only wall
+ *                 time differs)
  * Unrecognized arguments are preserved in @ref positional for
  * harness-specific parsing (e.g. systolic_explorer's shape).
  */
@@ -138,6 +145,7 @@ struct HarnessArgs {
     std::string csvPath;
     std::string jsonPath;
     bool noWall = false;
+    sim::Backend backend = sim::Backend::Auto;
     std::vector<std::string> positional;
 
     static HarnessArgs
@@ -173,6 +181,20 @@ struct HarnessArgs {
                 a.jsonPath = next();
             else if (arg == "--no-wall")
                 a.noWall = true;
+            else if (arg == "--backend") {
+                std::string v = next();
+                if (v == "interp")
+                    a.backend = sim::Backend::Interp;
+                else if (v == "compiled")
+                    a.backend = sim::Backend::Compiled;
+                else {
+                    std::fprintf(stderr,
+                                 "--backend expects 'interp' or "
+                                 "'compiled', got '%s'\n",
+                                 v.c_str());
+                    std::exit(2);
+                }
+            }
             else if (arg.rfind("--", 0) == 0) {
                 std::fprintf(stderr, "unknown option '%s'\n",
                              arg.c_str());
@@ -188,6 +210,14 @@ struct HarnessArgs {
     {
         sweep::RunnerOptions o;
         o.threads = threads;
+        return o;
+    }
+
+    sim::EngineOptions
+    engineOptions() const
+    {
+        sim::EngineOptions o;
+        o.backend = backend;
         return o;
     }
 

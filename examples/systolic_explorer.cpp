@@ -56,7 +56,8 @@ main(int argc, char **argv)
 
     sweep::SweepRunner runner(args.runnerOptions());
     auto points = grid.points();
-    auto workers = bench::makeSystolicWorkers(runner, points.size());
+    auto workers = bench::makeSystolicWorkers(runner, points.size(),
+                                              args.engineOptions());
 
     auto table = runner.run(
         points, schema,

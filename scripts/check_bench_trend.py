@@ -12,8 +12,14 @@ Usage:
 
 Benchmarks are matched by exact name ("BM_SimulateSystolic/8"); the
 --track prefixes select which families gate the build (default:
-BM_SimulateSystolic and BM_EventDispatch). Untracked benchmarks are
-reported informationally. Stdlib only.
+BM_SimulateSystolic, BM_EventDispatch, and BM_CompiledVsInterp).
+Untracked benchmarks are reported informationally. Stdlib only.
+
+First-run friendliness: a missing/unreadable/invalid baseline file
+exits 0 with a clear "no baseline yet" message (new branches and
+expired artifacts must not fail CI), and benchmarks absent from the
+baseline — e.g. ones introduced by the current change — are reported
+as "new" rather than gating anything.
 """
 
 import argparse
@@ -21,13 +27,16 @@ import json
 import sys
 
 
-def load_benchmarks(path):
+def load_benchmarks(path, metric):
     with open(path) as f:
         data = json.load(f)
     out = {}
     for b in data.get("benchmarks", []):
-        # Skip aggregate rows (mean/median/stddev of repetitions).
+        # Skip aggregate rows (mean/median/stddev of repetitions) and
+        # malformed rows without a name or the compared metric.
         if b.get("run_type") == "aggregate":
+            continue
+        if "name" not in b or metric not in b:
             continue
         out[b["name"]] = b
     return out
@@ -40,14 +49,37 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="max tolerated fractional regression (0.20 = +20%%)")
     ap.add_argument("--track", nargs="*",
-                    default=["BM_SimulateSystolic", "BM_EventDispatch"],
+                    default=["BM_SimulateSystolic", "BM_EventDispatch",
+                             "BM_CompiledVsInterp"],
                     help="benchmark-name prefixes that gate the build")
     ap.add_argument("--metric", default="cpu_time",
                     choices=["cpu_time", "real_time"])
     args = ap.parse_args()
 
-    base = load_benchmarks(args.baseline)
-    curr = load_benchmarks(args.current)
+    # A baseline that is absent or unparseable is not a regression: the
+    # branch simply has nothing to compare against yet (first run on a
+    # branch, expired CI artifact, truncated download).
+    try:
+        base = load_benchmarks(args.baseline, args.metric)
+    except (OSError, ValueError) as e:
+        print(f"no baseline yet ({args.baseline}: {e}); "
+              f"nothing to compare against -- skipping trend check")
+        return 0
+
+    try:
+        curr = load_benchmarks(args.current, args.metric)
+    except (OSError, ValueError) as e:
+        # The current results come from this very run; not having them
+        # is a real CI failure, reported readably instead of a
+        # traceback.
+        print(f"error: cannot read current results {args.current}: {e}",
+              file=sys.stderr)
+        return 2
+
+    if not base:
+        print(f"baseline {args.baseline} contains no benchmark rows; "
+              f"nothing to compare against -- skipping trend check")
+        return 0
 
     failures = []
     rows = []

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The compiled execution backend's program representation (the
+ * paper's thesis applied to the simulator itself: *compile* the
+ * simulation instead of interpreting it, cf. CVC's pre-resolved
+ * flow-graph programs, arXiv:1603.08059).
+ *
+ * A ModuleCompiler (compile.cc) lowers each verified interpretation
+ * scope — the module top level or a launch body — once into a dense
+ * micro-op stream: one contiguous MicroOp record per interpreter
+ * dispatch, with
+ *
+ *  - the op *kind* pre-lowered from its interned OpId to a dense
+ *    MOp opcode (no handler-table lookup at run time),
+ *  - operand references pre-resolved to (env-chain hops, slot) pairs
+ *    (no scope-id walk per eval), result slots pre-resolved to local
+ *    slot indices,
+ *  - the (CostClass, OpId) cost-table row pre-folded into the record
+ *    (one indexed load per executing processor class),
+ *  - loop bounds, constants, stream element counts, and resolved
+ *    component names pre-folded out of the attribute dictionaries,
+ *  - branch and region targets pre-computed as absolute pc indices
+ *    into the stream (the stream is relocatable: it contains no
+ *    pointers into itself).
+ *
+ * CompiledExec (compiled_exec.cc) then runs the stream with a dense
+ * jump-table dispatch over the opcode — a computed jump straight to
+ * the micro-op's code — instead of walking ir::Operation nodes.
+ *
+ * Lifetime: a CompiledBlock borrows the IR (records keep the
+ * originating ir::Operation* for attributes, trace labels, and cold
+ * paths) and embeds the scope's value numbering, so it is cached and
+ * invalidated exactly like the numbering itself (Simulator::Impl::
+ * programs, cleared on any non-batched reset).
+ */
+
+#ifndef EQ_SIM_COMPILE_HH
+#define EQ_SIM_COMPILE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/operation.hh"
+#include "sim/costmodel.hh"
+#include "sim/simvalue.hh"
+
+namespace eq {
+namespace sim {
+
+/** Compiled micro-op opcodes. One opcode per interpreter handler
+ *  (specialized where the handler branches on the op kind, e.g.
+ *  load vs store), plus the loop/terminator control records that
+ *  replace the interpreter's frame bookkeeping. */
+enum class MOp : uint8_t {
+    Bad = 0,    ///< uninterpretable op: fatal when (and only when) executed
+    // Structure / elaboration (free; shared cores in elaborate.cc).
+    CreateProc,
+    CreateDma,
+    CreateMem,
+    CreateStream,
+    CreateConnection,
+    CreateComp, ///< create_comp / add_comp (kFlagIsAddComp)
+    GetComp,    ///< get_comp / extract_comp; child name pre-resolved
+    Alloc,      ///< equeue.alloc / memref.alloc (kFlagEqueueAlloc)
+    Dealloc,
+    // Control flow (pre-computed pc targets).
+    ForBegin,   ///< aux -> ForLoopInfo; target = pc past ForEnd
+    ForEnd,     ///< aux -> ForLoopInfo; target = loop body pc
+    ParBegin,   ///< aux -> ParLoopInfo; target = pc past ParEnd
+    ParEnd,     ///< aux -> ParLoopInfo; target = loop body pc
+    Yield,      ///< loop back-edge: charges the yield cost
+    NestedModule, ///< counts the builtin.module dispatch, falls through
+    Halt,       ///< end of scope (block tree ran off its end)
+    // Scalar compute.
+    Constant,   ///< aux -> consts (value attribute pre-folded)
+    AddI,
+    SubI,
+    MulI,
+    DivSI,
+    RemSI,
+    AddF,
+    MulF,
+    ArithBad,   ///< unsupported arith op: fatal when executed
+    // Memory and high-level compute.
+    Load,       ///< affine.load: args = [memref, indices...]
+    Store,      ///< affine.store: args = [value, memref, indices...]
+    LinalgConv,
+    LinalgFill,
+    LinalgMatmul,
+    LinalgOther, ///< analytic cost only
+    Read,       ///< args = [buffer, (conn), indices...]
+    Write,      ///< args = [value, buffer, (conn), indices...]
+    StreamRead, ///< args = [stream, (conn)]; imm = elems
+    StreamWrite, ///< args = [value, stream, (conn)]
+    // Events.
+    ControlStart,
+    ControlAnd,
+    ControlOr,
+    Launch,     ///< args = [deps..., proc]
+    Memcpy,     ///< args = [dep, src, dst, dma, (conn)]
+    Await,      ///< args = [events...] (none = all spawned)
+    Return,
+    Extern,     ///< aux -> resultPool (extra result slots)
+    kCount
+};
+
+/** Pre-resolved value reference: follow @ref hops parent links in the
+ *  runtime environment chain, then index @ref slot. Replaces the
+ *  interpreter's per-eval scope-id walk. */
+struct SlotRef {
+    uint32_t slot = 0;
+    uint32_t hops = 0;
+};
+
+constexpr uint32_t kNoSlot = 0xffffffffu;
+
+/** MicroOp::flags bits. */
+enum : uint8_t {
+    kFlagCounts = 1 << 0,      ///< counts toward opsExecuted (one per
+                               ///< interpreter dispatch, for parity)
+    kFlagHasConn = 1 << 1,     ///< data-motion op carries a connection
+    kFlagIsAddComp = 1 << 2,   ///< CreateComp record is an add_comp
+    kFlagEqueueAlloc = 1 << 3, ///< Alloc record is an equeue.alloc
+};
+
+/**
+ * One instruction record of the micro-op stream. Fixed-size and
+ * contiguous; all cross-references are indices (operand pool, aux
+ * pools, branch targets), never pointers into the stream.
+ */
+struct MicroOp {
+    MOp code = MOp::Bad;
+    uint8_t flags = 0;
+    uint16_t nargs = 0;     ///< operand count in CompiledBlock::args
+    uint32_t argsBegin = 0; ///< first operand index in the args pool
+    uint32_t result = kNoSlot; ///< local result slot (results are
+                               ///< always scope-local: hops == 0)
+    uint32_t target = 0;    ///< branch target pc (loops)
+    uint32_t aux = 0;       ///< index into the per-opcode aux pool
+    int64_t imm = 0;        ///< pre-folded immediate (stream elems, ...)
+    ir::Operation *op = nullptr; ///< originating IR op (attributes,
+                                 ///< trace labels, cold paths)
+    /** Pre-folded cost-table row: occupancy cycles per executing
+     *  processor cost class (CostModel::kDynamic defers to
+     *  linalgCycles at execution time, exactly like the interpreter's
+     *  table). */
+    std::array<Cycles, kNumCostClasses> cost{};
+
+    bool counts() const { return flags & kFlagCounts; }
+    bool hasConn() const { return flags & kFlagHasConn; }
+};
+
+/** A compiled interpretation scope: the relocatable micro-op stream
+ *  plus its pooled operands and pre-folded auxiliary data. */
+struct CompiledBlock {
+    std::vector<MicroOp> code;
+    std::vector<SlotRef> args; ///< operand pool (MicroOp::argsBegin)
+
+    /** Pre-folded attribute constants (MOp::Constant). */
+    std::vector<SimValue> consts;
+    /** Extra result slots for multi-result ops (MOp::Extern). */
+    std::vector<uint32_t> resultPool;
+    /** Pre-resolved component child names (MOp::GetComp). */
+    std::vector<std::string> strings;
+
+    struct ForLoopInfo {
+        int64_t lb, ub, step;
+        uint32_t ivSlot;
+    };
+    std::vector<ForLoopInfo> forLoops;
+
+    struct ParLoopInfo {
+        std::vector<int64_t> lbs, ubs, steps;
+        std::vector<uint32_t> ivSlots;
+    };
+    std::vector<ParLoopInfo> parLoops;
+
+    /** Launch bodies compiled eagerly with their parent; a Launch
+     *  record's aux indexes this, and the pointer rides on the Event
+     *  so issue skips the program-cache lookup. Owned by the engine's
+     *  program cache (same lifetime as this block). */
+    std::vector<const CompiledBlock *> childProgs;
+
+    /** Pre-resolved captured-value mapping for a launch body: at issue
+     *  time, src (relative to the *creator* environment) is copied
+     *  into the body-local block-argument slot. Replaces the
+     *  interpreter's per-issue captured() walk and scope-chain finds. */
+    struct Capture {
+        SlotRef src;      ///< creator-relative (hops from creatorEnv)
+        uint32_t argSlot; ///< body-local block-argument slot
+    };
+    std::vector<Capture> captures;
+
+    /** Scope this program was compiled against (must match the
+     *  executing environment's scopeId). */
+    uint32_t scopeId = 0;
+    uint32_t numSlots = 0;
+};
+
+} // namespace sim
+} // namespace eq
+
+#endif // EQ_SIM_COMPILE_HH

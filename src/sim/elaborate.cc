@@ -1,9 +1,14 @@
 /**
  * @file
- * Handlers for structure ops: elaboration of the modeled hardware
- * hierarchy (processors, memories, DMAs, connections, streams,
- * composite components) and buffer allocation. These run at zero cost —
- * they describe hardware, they do not execute on it (§III-A).
+ * Elaboration of the modeled hardware hierarchy (processors, memories,
+ * DMAs, connections, streams, composite components) and buffer
+ * allocation. These run at zero cost — they describe hardware, they do
+ * not execute on it (§III-A).
+ *
+ * The op semantics live in Simulator::Impl::elab* cores shared by both
+ * execution backends; the BlockExec handlers below are the
+ * interpreter's thin wrappers (the compiled backend calls the cores
+ * from its own dispatch loop in compiled_exec.cc).
  */
 
 #include "base/stringutil.hh"
@@ -14,14 +19,121 @@
 namespace eq {
 namespace sim {
 
+// ---------------------------------------------------------------------------
+// Shared elaboration cores
+
+SimValue
+Simulator::Impl::elabCreateProc(ir::Operation *op)
+{
+    auto proc = std::make_unique<Processor>(
+        freshName("proc"), equeue::CreateProcOp(op).kind());
+    SimValue v = SimValue::ofComponent(proc.get());
+    components.push_back(std::move(proc));
+    return v;
+}
+
+SimValue
+Simulator::Impl::elabCreateDma()
+{
+    auto dma = std::make_unique<Dma>(freshName("dma"));
+    SimValue v = SimValue::ofComponent(dma.get());
+    components.push_back(std::move(dma));
+    return v;
+}
+
+SimValue
+Simulator::Impl::elabCreateMem(ir::Operation *op)
+{
+    equeue::CreateMemOp mem_op(op);
+    auto mem =
+        factory.makeMemory(mem_op.kind(), freshName("mem"),
+                           mem_op.shape(), mem_op.dataBits(),
+                           mem_op.banks());
+    SimValue v = SimValue::ofComponent(mem.get());
+    components.push_back(std::move(mem));
+    return v;
+}
+
+SimValue
+Simulator::Impl::elabCreateStream(ir::Operation *op)
+{
+    auto fifo = std::make_unique<StreamFifo>(
+        freshName("stream"),
+        static_cast<unsigned>(op->intAttrOr("data_bits", 32)));
+    SimValue v = SimValue::ofStream(fifo.get());
+    components.push_back(std::move(fifo));
+    return v;
+}
+
+SimValue
+Simulator::Impl::elabCreateConnection(ir::Operation *op)
+{
+    equeue::CreateConnectionOp conn_op(op);
+    auto conn = std::make_unique<Connection>(
+        freshName("conn"), conn_op.kind(), conn_op.bandwidth());
+    SimValue v = SimValue::ofConnection(conn.get());
+    components.push_back(std::move(conn));
+    return v;
+}
+
+SimValue
+Simulator::Impl::elabCreateOrAddComp(ir::Operation *op,
+                                     const SimValue *args, size_t nargs,
+                                     bool is_add)
+{
+    Component *comp;
+    size_t first_sub = 0;
+    if (is_add) {
+        comp = args[0].asComponent();
+        first_sub = 1;
+    } else {
+        auto owned = std::make_unique<Component>(freshName("comp"));
+        comp = owned.get();
+        components.push_back(std::move(owned));
+    }
+    std::vector<std::string> names = split(op->strAttr("names"), ' ');
+    for (size_t i = first_sub; i < nargs; ++i) {
+        const SimValue &sub = args[i];
+        Component *child = sub.isStream()
+                               ? static_cast<Component *>(sub.asStream())
+                               : sub.asComponent();
+        comp->addChild(names[i - first_sub], child);
+    }
+    return is_add ? SimValue() : SimValue::ofComponent(comp);
+}
+
+SimValue
+Simulator::Impl::elabGetComp(Component *comp,
+                             const std::string &child_name)
+{
+    Component *child = comp->child(child_name);
+    if (!child)
+        eq_fatal("get_comp: no subcomponent named '", child_name,
+                 "' in ", comp->path());
+    return SimValue::ofComponent(child);
+}
+
+SimValue
+Simulator::Impl::elabAlloc(ir::Operation *op, Memory *mem)
+{
+    ir::Type bt = op->result(0).type();
+    auto buf = std::make_unique<BufferObj>();
+    buf->data = Tensor::zeros(bt.shape(), bt.elemBits());
+    buf->mem = mem;
+    buf->label = freshName("buf");
+    SimValue v = SimValue::ofBuffer(buf.get());
+    buffers.push_back(std::move(buf));
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter wrappers
+
 BlockExec::Step
 BlockExec::execCreateProc(ir::Operation *op, Cycles &now)
 {
     (void)now;
-    auto proc = std::make_unique<Processor>(
-        _eng.freshName("proc"), equeue::CreateProcOp(op).kind());
-    bind(op->result(0), SimValue::ofComponent(proc.get()));
-    _eng.components.push_back(std::move(proc));
+    bind(op->result(0), _eng.elabCreateProc(op));
     return advanceFree();
 }
 
@@ -29,9 +141,7 @@ BlockExec::Step
 BlockExec::execCreateDma(ir::Operation *op, Cycles &now)
 {
     (void)now;
-    auto dma = std::make_unique<Dma>(_eng.freshName("dma"));
-    bind(op->result(0), SimValue::ofComponent(dma.get()));
-    _eng.components.push_back(std::move(dma));
+    bind(op->result(0), _eng.elabCreateDma());
     return advanceFree();
 }
 
@@ -39,12 +149,7 @@ BlockExec::Step
 BlockExec::execCreateMem(ir::Operation *op, Cycles &now)
 {
     (void)now;
-    equeue::CreateMemOp mem_op(op);
-    auto mem = _eng.factory.makeMemory(
-        mem_op.kind(), _eng.freshName("mem"), mem_op.shape(),
-        mem_op.dataBits(), mem_op.banks());
-    bind(op->result(0), SimValue::ofComponent(mem.get()));
-    _eng.components.push_back(std::move(mem));
+    bind(op->result(0), _eng.elabCreateMem(op));
     return advanceFree();
 }
 
@@ -52,11 +157,7 @@ BlockExec::Step
 BlockExec::execCreateStream(ir::Operation *op, Cycles &now)
 {
     (void)now;
-    auto fifo = std::make_unique<StreamFifo>(
-        _eng.freshName("stream"),
-        static_cast<unsigned>(op->intAttrOr("data_bits", 32)));
-    bind(op->result(0), SimValue::ofStream(fifo.get()));
-    _eng.components.push_back(std::move(fifo));
+    bind(op->result(0), _eng.elabCreateStream(op));
     return advanceFree();
 }
 
@@ -64,11 +165,7 @@ BlockExec::Step
 BlockExec::execCreateConnection(ir::Operation *op, Cycles &now)
 {
     (void)now;
-    equeue::CreateConnectionOp conn_op(op);
-    auto conn = std::make_unique<Connection>(
-        _eng.freshName("conn"), conn_op.kind(), conn_op.bandwidth());
-    bind(op->result(0), SimValue::ofConnection(conn.get()));
-    _eng.components.push_back(std::move(conn));
+    bind(op->result(0), _eng.elabCreateConnection(op));
     return advanceFree();
 }
 
@@ -77,26 +174,14 @@ BlockExec::execCreateOrAddComp(ir::Operation *op, Cycles &now)
 {
     (void)now;
     bool is_add = op->opId() == _eng.idAddComp;
-    Component *comp;
-    unsigned first_sub = 0;
-    if (is_add) {
-        comp = eval(op->operand(0)).asComponent();
-        first_sub = 1;
-    } else {
-        auto owned = std::make_unique<Component>(_eng.freshName("comp"));
-        comp = owned.get();
-        _eng.components.push_back(std::move(owned));
-    }
-    std::vector<std::string> names = split(op->strAttr("names"), ' ');
-    for (unsigned i = first_sub; i < op->numOperands(); ++i) {
-        SimValue sub = eval(op->operand(i));
-        Component *child = sub.isStream()
-                               ? static_cast<Component *>(sub.asStream())
-                               : sub.asComponent();
-        comp->addChild(names[i - first_sub], child);
-    }
+    std::vector<SimValue> args;
+    args.reserve(op->numOperands());
+    for (unsigned i = 0; i < op->numOperands(); ++i)
+        args.push_back(eval(op->operand(i)));
+    SimValue r =
+        _eng.elabCreateOrAddComp(op, args.data(), args.size(), is_add);
     if (!is_add)
-        bind(op->result(0), SimValue::ofComponent(comp));
+        bind(op->result(0), r);
     return advanceFree();
 }
 
@@ -109,11 +194,7 @@ BlockExec::execGetComp(ir::Operation *op, Cycles &now)
         op->opId() == _eng.idExtractComp
             ? equeue::ExtractCompOp(op).resolvedName()
             : op->strAttr("name");
-    Component *child = comp->child(child_name);
-    if (!child)
-        eq_fatal("get_comp: no subcomponent named '", child_name, "' in ",
-                 comp->path());
-    bind(op->result(0), SimValue::ofComponent(child));
+    bind(op->result(0), _eng.elabGetComp(comp, child_name));
     return advanceFree();
 }
 
@@ -121,15 +202,11 @@ BlockExec::Step
 BlockExec::execAlloc(ir::Operation *op, Cycles &now)
 {
     (void)now;
-    ir::Type bt = op->result(0).type();
-    auto buf = std::make_unique<BufferObj>();
-    buf->data = Tensor::zeros(bt.shape(), bt.elemBits());
-    if (op->opId() == _eng.idEqueueAlloc)
-        buf->mem =
-            static_cast<Memory *>(eval(op->operand(0)).asComponent());
-    buf->label = _eng.freshName("buf");
-    bind(op->result(0), SimValue::ofBuffer(buf.get()));
-    _eng.buffers.push_back(std::move(buf));
+    Memory *mem =
+        op->opId() == _eng.idEqueueAlloc
+            ? static_cast<Memory *>(eval(op->operand(0)).asComponent())
+            : nullptr;
+    bind(op->result(0), _eng.elabAlloc(op, mem));
     return advanceFree();
 }
 

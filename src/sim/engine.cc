@@ -10,9 +10,33 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/compiled_exec.hh"
 
 namespace eq {
 namespace sim {
+
+namespace {
+
+/** Resolve Backend::Auto against EQ_SIM_BACKEND (once per Simulator,
+ *  so a sweep's workers all agree for their whole lifetime). */
+Backend
+resolveBackend(Backend requested)
+{
+    if (requested != Backend::Auto)
+        return requested;
+    const char *env = std::getenv("EQ_SIM_BACKEND");
+    if (!env || !*env || std::strcmp(env, "interp") == 0)
+        return Backend::Interp;
+    if (std::strcmp(env, "compiled") == 0)
+        return Backend::Compiled;
+    eq_fatal("EQ_SIM_BACKEND must be 'interp' or 'compiled', got '",
+             env, "'");
+}
+
+} // namespace
 
 SimReport
 Simulator::Impl::buildReport(double wall_seconds) const
@@ -85,10 +109,17 @@ Simulator::Impl::buildReport(double wall_seconds) const
 Simulator::Simulator(EngineOptions opts) : _impl(std::make_unique<Impl>())
 {
     _impl->opts = opts;
+    _impl->backend = resolveBackend(opts.backend);
     _impl->traceData.setEnabled(opts.enableTrace);
 }
 
 Simulator::~Simulator() = default;
+
+Backend
+Simulator::backend() const
+{
+    return _impl->backend;
+}
 
 Trace &
 Simulator::trace()
@@ -131,12 +162,19 @@ Simulator::Impl::runModule(ir::Operation *module, bool reuse_compiled)
         handlers.size() != ctx.numInternedOpNames())
         buildDispatchTable(ctx);
 
-    EnvPtr env = makeEnv(&module->region(0).front(), nullptr);
-    auto exec =
-        std::make_unique<BlockExec>(*this, nullptr, rootProc.get(),
-                                    &module->region(0).front(),
-                                    std::move(env));
-    BlockExec *raw = exec.get();
+    ir::Block *root = &module->region(0).front();
+    EnvPtr env = makeEnv(root, nullptr);
+    std::unique_ptr<ExecBase> exec;
+    if (backend == Backend::Compiled)
+        exec = std::make_unique<CompiledExec>(*this, nullptr,
+                                              rootProc.get(),
+                                              programFor(root),
+                                              std::move(env));
+    else
+        exec = std::make_unique<BlockExec>(*this, nullptr,
+                                           rootProc.get(), root,
+                                           std::move(env));
+    ExecBase *raw = exec.get();
     execs.push_back(std::move(exec));
     raw->start(0);
     runHeap();

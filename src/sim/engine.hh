@@ -32,6 +32,23 @@
 namespace eq {
 namespace sim {
 
+/**
+ * Execution backend of the engine's hot loop.
+ *
+ * Both backends share the event core, elaboration, cost model, and
+ * report generation; cycle counts, reports, and traces are identical.
+ *  - Interp: tree-walks ir::Operation nodes through the OpId handler
+ *    table (the reference implementation).
+ *  - Compiled: lowers each region once into a dense micro-op stream
+ *    (pre-resolved slots, pre-folded costs, pre-computed branch
+ *    targets; see sim/compile.hh) and dispatches over that stream.
+ *    Compilation is cached per region, so BatchSession re-runs and
+ *    sweeps pay it once per structural config.
+ *  - Auto (default): resolved from the EQ_SIM_BACKEND environment
+ *    variable ("interp" | "compiled"), falling back to Interp.
+ */
+enum class Backend : uint8_t { Auto, Interp, Compiled };
+
 /** Engine configuration. */
 struct EngineOptions {
     /** Record operation-level trace slices (costs memory). */
@@ -40,6 +57,9 @@ struct EngineOptions {
     bool verifyModule = true;
     /** Runaway-program guard: abort after this many interpreted ops. */
     uint64_t maxOps = 500'000'000;
+    /** Execution backend; Auto resolves EQ_SIM_BACKEND at Simulator
+     *  construction. */
+    Backend backend = Backend::Auto;
 };
 
 /**
@@ -64,6 +84,21 @@ class Simulator {
     /** Trace of the most recent run (enable via options). */
     Trace &trace();
 
+    /** The resolved execution backend (never Backend::Auto). */
+    Backend backend() const;
+
+    /**
+     * Lower every region of @p module to micro-op streams now, from
+     * scratch (drops all cached numbering and programs first, so
+     * repeated calls measure full compilation cost — this is the
+     * BM_CompileModule hook, quantifying exactly the setup a
+     * BatchSession's first run pays and its re-runs amortize). Note a
+     * subsequent run still recompiles: per-run setup legitimately
+     * rebuilds caches unless a BatchSession pins the module.
+     * @return total number of micro-ops emitted
+     */
+    size_t precompile(ir::Operation *module);
+
     /** Custom `equeue.op` signatures (§III-E). */
     OpFunctionRegistry &opFunctions();
 
@@ -86,7 +121,8 @@ class Simulator {
  * simulations: the module is verified once, the OpId dispatch table and
  * (CostClass, OpId) cost table are rebuilt only when the module's
  * context interns new op names, and the value-numbering scopes
- * (ValueImpl slot assignments) survive between runs. Per-run state —
+ * (ValueImpl slot assignments) — plus, on the compiled backend, the
+ * lowered micro-op programs — survive between runs. Per-run state —
  * components, buffers, events, the heap — still resets fully, so a
  * batched run's report is cycle-identical to a fresh Simulator's.
  *

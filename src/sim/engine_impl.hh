@@ -6,17 +6,23 @@
  *
  *  - event_core.cc: the discrete-event heap, event lifecycle,
  *    dependency subscription, and processor issue queues (§III-D).
- *  - elaborate.cc:  handlers for structure ops that build the modeled
- *    hardware (create_proc/dma/mem/comp/..., alloc).
+ *  - elaborate.cc:  shared elaboration cores for structure ops that
+ *    build the modeled hardware (create_proc/dma/mem/comp/..., alloc),
+ *    plus the interpreter's thin handler wrappers.
  *  - interp.cc:     block interpretation — dense value-numbered SSA
  *    environments, control flow, and the OpId dispatch table.
  *  - handlers.cc:   per-op handlers for compute, data movement, and
- *    event ops.
+ *    event ops, plus the data-motion cores both backends share.
+ *  - compile.cc:    ModuleCompiler — lowers a scope once into a dense
+ *    micro-op stream (sim/compile.hh) for the compiled backend.
+ *  - compiled_exec.cc: the compiled backend's dispatch loop.
  *  - engine.cc:     the Simulator facade and report generation.
  *
- * Dispatch is table-driven: every op kind's handler is found by
- * indexing a per-run table with the op's interned OpId (see
- * ir/opid.hh); the hot path performs no string comparisons.
+ * Dispatch is table-driven: the interpreter finds every op kind's
+ * handler by indexing a per-run table with the op's interned OpId (see
+ * ir/opid.hh); the compiled backend goes further and pre-lowers the
+ * OpId to a dense opcode at compile time. Neither hot path performs
+ * string comparisons.
  */
 
 #ifndef EQ_SIM_ENGINE_IMPL_HH
@@ -24,12 +30,14 @@
 
 #include <algorithm>
 #include <array>
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "base/inline_function.hh"
 #include "base/logging.hh"
+#include "sim/compile.hh"
 #include "sim/costmodel.hh"
 #include "sim/engine.hh"
 
@@ -87,6 +95,26 @@ struct Env {
 
 using EnvPtr = std::shared_ptr<Env>;
 
+/**
+ * A suspended/executing block program, owned by the engine for the
+ * duration of a run. Both backends implement this: BlockExec walks the
+ * IR, CompiledExec runs a pre-lowered micro-op stream. The event core
+ * only ever needs to (re)enter execution at a simulation time.
+ */
+class ExecBase {
+  public:
+    virtual ~ExecBase() = default;
+
+    /** (Re-)enter execution at simulation time @p t. */
+    virtual void resume(Cycles t) = 0;
+
+    void
+    start(Cycles t)
+    {
+        resume(t);
+    }
+};
+
 /** A scheduled/executing event (§III-D): launch, memcpy, or control. */
 struct Event {
     enum class Kind { Start, And, Or, Launch, Memcpy };
@@ -99,6 +127,9 @@ struct Event {
     ir::Operation *op = nullptr;
     Processor *proc = nullptr;
     EnvPtr creatorEnv;
+    /** Compiled backend: the launch body's pre-lowered program, set by
+     *  the Launch micro-op so issue needs no cache lookup. */
+    const CompiledBlock *bodyProg = nullptr;
     // Memcpy payload (resolved at creation).
     BufferObj *src = nullptr;
     BufferObj *dst = nullptr;
@@ -120,7 +151,7 @@ struct Event {
  * stalls) subscribe to wakeups. Per-op behavior lives in handler member
  * functions dispatched through the engine's OpId-indexed table.
  */
-class BlockExec {
+class BlockExec : public ExecBase {
   public:
     BlockExec(Simulator::Impl &eng, Event *ev, Processor *proc,
               ir::Block *block, EnvPtr env)
@@ -129,14 +160,8 @@ class BlockExec {
         _frames.push_back(Frame{block, block->begin(), nullptr, 0, {}});
     }
 
-    void
-    start(Cycles t)
-    {
-        resume(t);
-    }
-
     /** Re-enter interpretation at simulation time @p t. */
-    void resume(Cycles t);
+    void resume(Cycles t) override;
 
     enum class Step { Continue, Suspend, Finished };
     /** Handler for one op kind; the dispatch table stores these. */
@@ -231,6 +256,8 @@ class BlockExec {
 
 struct Simulator::Impl {
     EngineOptions opts;
+    /** Resolved execution backend (never Backend::Auto). */
+    Backend backend = Backend::Interp;
     Trace traceData;
     OpFunctionRegistry opFns;
     ComponentFactory factory;
@@ -238,6 +265,10 @@ struct Simulator::Impl {
     // --- per-run dispatch state ---------------------------------------
     /** Handler table indexed by OpId::raw(); null = uninterpretable. */
     std::vector<BlockExec::Handler> handlers;
+    /** OpId::raw() -> dense compiled opcode (MOp::Bad when the op has
+     *  no handler); built alongside @ref handlers, consumed by the
+     *  ModuleCompiler. */
+    std::vector<MOp> opcodes;
     /** (CostClass, OpId) -> processor occupancy cycles;
      *  CostModel::kDynamic defers to linalgCycles at execution time. */
     std::array<std::vector<Cycles>, kNumCostClasses> costTable;
@@ -270,11 +301,25 @@ struct Simulator::Impl {
     /** Fresh environment for @p root chained onto @p parent. */
     EnvPtr makeEnv(ir::Block *root, EnvPtr parent);
 
+    // --- compiled backend ---------------------------------------------
+    /** Compiled micro-op programs, keyed by scope root block. Cached
+     *  and invalidated exactly like @ref valueScopes (the program
+     *  embeds the scope's slot assignment): batched re-runs of a
+     *  pinned module reuse them, a full reset clears them. */
+    std::unordered_map<ir::Block *, std::unique_ptr<CompiledBlock>>
+        programs;
+    /** Lower @p root once (cached); see compile.cc. */
+    const CompiledBlock &programFor(ir::Block *root);
+
     // --- per-run simulation state -------------------------------------
     std::vector<std::unique_ptr<Component>> components;
     std::vector<std::unique_ptr<BufferObj>> buffers;
-    std::vector<std::unique_ptr<Event>> events;
-    std::vector<std::unique_ptr<BlockExec>> execs;
+    /** Owned by value in a deque: addresses are push-stable and a new
+     *  event costs no separate allocation (events are created per
+     *  launch/memcpy/control op — the hottest allocation site in
+     *  event-dense workloads). */
+    std::deque<Event> events;
+    std::vector<std::unique_ptr<ExecBase>> execs;
     std::unordered_map<StreamFifo *, std::vector<SchedFn>> streamWaiters;
     std::unique_ptr<Processor> rootProc;
 
@@ -330,7 +375,7 @@ struct Simulator::Impl {
     event(EventId id)
     {
         eq_assert(id < events.size(), "bad event id");
-        return events[id].get();
+        return &events[id];
     }
 
     void completeEvent(Event *ev, Cycles t);
@@ -346,6 +391,49 @@ struct Simulator::Impl {
     void issueMemcpy(Event *ev, Cycles t);
     void notifyStream(StreamFifo *fifo);
     void runHeap();
+
+    /** Launch-body completion shared by both backends: publish the
+     *  body's return values into the creator environment, complete the
+     *  launch event, free the processor, and poke its issue queue. */
+    void finishLaunch(Event *ev, Processor *proc, Cycles t);
+
+    // --- elaboration cores (elaborate.cc) -----------------------------
+    // Structure-op semantics shared by both backends; the executors
+    // evaluate operands their own way, bind the returned value, and
+    // advance for free (§III-A: structure ops describe hardware, they
+    // do not execute on it).
+    SimValue elabCreateProc(ir::Operation *op);
+    SimValue elabCreateDma();
+    SimValue elabCreateMem(ir::Operation *op);
+    SimValue elabCreateStream(ir::Operation *op);
+    SimValue elabCreateConnection(ir::Operation *op);
+    /** create_comp / add_comp; @p args are the evaluated operands (for
+     *  add_comp, args[0] is the existing composite). Returns the new
+     *  composite for create_comp, None for add_comp. */
+    SimValue elabCreateOrAddComp(ir::Operation *op, const SimValue *args,
+                                 size_t nargs, bool is_add);
+    SimValue elabGetComp(Component *comp, const std::string &child_name);
+    /** @p mem is null for memref.alloc (host allocation). */
+    SimValue elabAlloc(ir::Operation *op, Memory *mem);
+
+    // --- data-motion cores (handlers.cc) ------------------------------
+    /** The mem-acquire + connection-acquire sequence shared by
+     *  equeue.read/write and affine.load/store: reserves a memory bank
+     *  and (optionally) a link channel, records traffic, and returns
+     *  the cycle the access starts issuing. */
+    Cycles bufferAccessStart(BufferObj *buf, Connection *conn,
+                             bool is_write, int64_t words, int64_t bytes,
+                             Cycles now);
+    /** Push @p elems into @p fifo through optional @p conn; elements
+     *  become visible at the connection-shaped arrival time. */
+    void streamPush(StreamFifo *fifo, Connection *conn,
+                    const std::vector<int64_t> &elems, Cycles now);
+
+    // --- linalg functional semantics (handlers.cc) --------------------
+    void linalgConvCompute(ir::Operation *op, BufferObj *ib,
+                           BufferObj *wb, BufferObj *ob);
+    void linalgFillCompute(ir::Operation *op, BufferObj *b);
+    void linalgMatmulCompute(BufferObj *a, BufferObj *bm, BufferObj *c);
 
     // --- cost & trace -------------------------------------------------
     /** Table-driven per-op cost; no strings on this path. */

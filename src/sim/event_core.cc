@@ -9,6 +9,7 @@
 #include <algorithm>
 
 #include "dialects/equeue.hh"
+#include "sim/compiled_exec.hh"
 #include "sim/engine_impl.hh"
 
 namespace eq {
@@ -29,8 +30,12 @@ Simulator::Impl::reset(bool keep_numbering)
     eventsExecuted = 0;
     opsExecuted = 0;
     nameCounters.clear();
-    if (!keep_numbering)
+    if (!keep_numbering) {
         valueScopes.clear();
+        // Compiled programs embed the numbering (slot refs resolved
+        // against it), so they live and die with it.
+        programs.clear();
+    }
     traceData.clear();
     rootProc = std::make_unique<Processor>("host", "Root");
 }
@@ -45,12 +50,11 @@ Simulator::Impl::freshName(const std::string &base)
 Event *
 Simulator::Impl::newEvent(Event::Kind kind, Cycles t)
 {
-    auto ev = std::make_unique<Event>();
-    ev->id = events.size();
-    ev->kind = kind;
-    ev->createdAt = t;
-    events.push_back(std::move(ev));
-    return events.back().get();
+    Event &ev = events.emplace_back();
+    ev.id = events.size() - 1;
+    ev.kind = kind;
+    ev.createdAt = t;
+    return &ev;
 }
 
 void
@@ -70,6 +74,18 @@ Simulator::Impl::completeEvent(Event *ev, Cycles t)
 void
 Simulator::Impl::whenAllDone(const std::vector<EventId> &ids, DoneFn fn)
 {
+    // Single-dependency fast path (the overwhelmingly common case:
+    // chained launches): subscribe the callback directly, no shared
+    // join state. Callback position — and therefore completion
+    // ordering — is exactly what the general path would produce.
+    if (ids.size() == 1) {
+        Event *ev = event(ids[0]);
+        if (ev->done)
+            fn(ev->doneTime);
+        else
+            ev->onDone.push_back(std::move(fn));
+        return;
+    }
     auto state = std::make_shared<std::pair<size_t, Cycles>>(0, 0);
     for (EventId id : ids) {
         Event *ev = event(id);
@@ -130,24 +146,41 @@ Simulator::Impl::tryIssue(Processor *proc, Cycles t)
         return;
     Event *head = proc->queue().front();
     // All dependencies must be complete before the head may issue
-    // (head-of-line blocking, as in Fig. 5).
-    std::vector<EventId> undone;
+    // (head-of-line blocking, as in Fig. 5). First pass counts the
+    // pending deps without allocating — issue attempts happen per
+    // event and almost always find zero or one pending.
+    size_t num_undone = 0;
+    EventId undone_id = 0;
     Cycles dep_time = t;
     for (EventId id : head->deps) {
         Event *dep = event(id);
-        if (!dep->done)
-            undone.push_back(id);
-        else
+        if (!dep->done) {
+            ++num_undone;
+            undone_id = id;
+        } else {
             dep_time = std::max(dep_time, dep->doneTime);
+        }
     }
-    if (!undone.empty()) {
+    if (num_undone) {
         if (!head->issueSubscribed) {
             head->issueSubscribed = true;
-            whenAllDone(undone, [this, proc](Cycles done_t) {
+            DoneFn wake = [this, proc](Cycles done_t) {
                 scheduleAt(done_t, [this, proc, done_t] {
                     tryIssue(proc, done_t);
                 });
-            });
+            };
+            if (num_undone == 1) {
+                // Same subscription whenAllDone would make, minus the
+                // id-vector and join-state allocations.
+                event(undone_id)->onDone.push_back(std::move(wake));
+            } else {
+                std::vector<EventId> undone;
+                undone.reserve(num_undone);
+                for (EventId id : head->deps)
+                    if (!event(id)->done)
+                        undone.push_back(id);
+                whenAllDone(undone, std::move(wake));
+            }
         }
         return;
     }
@@ -166,21 +199,67 @@ Simulator::Impl::issueLaunch(Event *ev, Cycles t)
 {
     equeue::LaunchOp launch(ev->op);
     ir::Block &body = launch.body();
-    EnvPtr env = makeEnv(&body, ev->creatorEnv);
-    // Resolve captured values now (lazy capture: results of earlier
-    // events are published by the time our dependencies are done).
-    auto captured = launch.captured();
-    for (size_t i = 0; i < captured.size(); ++i) {
-        const SimValue *sv = ev->creatorEnv->find(captured[i].impl());
-        eq_assert(sv, "launch captures value that is not yet computed; "
+    std::unique_ptr<ExecBase> exec;
+    if (backend == Backend::Compiled) {
+        // Pre-compiled issue: the body program (pinned on the event by
+        // the Launch micro-op) already knows its scope size and its
+        // capture mapping, so no per-issue numbering lookup and no use
+        // chain walks — captures are slot-to-slot copies.
+        const CompiledBlock &prog =
+            ev->bodyProg ? *ev->bodyProg : programFor(&body);
+        auto env = std::make_shared<Env>();
+        env->scopeId = prog.scopeId;
+        env->slots.resize(prog.numSlots);
+        env->parent = ev->creatorEnv;
+        for (const auto &cap : prog.captures) {
+            Env *e = env->parent.get();
+            for (uint32_t h = cap.src.hops; h; --h)
+                e = e->parent.get();
+            const SimValue &sv = e->slots[cap.src.slot];
+            eq_assert(!sv.isNone(),
+                      "launch captures value that is not yet computed; "
                       "add an event dependency");
-        env->bind(body.argument(static_cast<unsigned>(i)).impl(), *sv);
+            env->slots[cap.argSlot] = sv;
+        }
+        exec = std::make_unique<CompiledExec>(*this, ev, ev->proc, prog,
+                                              std::move(env));
+    } else {
+        EnvPtr env = makeEnv(&body, ev->creatorEnv);
+        // Resolve captured values now (lazy capture: results of
+        // earlier events are published by the time our dependencies
+        // are done).
+        auto captured = launch.captured();
+        for (size_t i = 0; i < captured.size(); ++i) {
+            const SimValue *sv =
+                ev->creatorEnv->find(captured[i].impl());
+            eq_assert(sv,
+                      "launch captures value that is not yet computed; "
+                      "add an event dependency");
+            env->bind(body.argument(static_cast<unsigned>(i)).impl(),
+                      *sv);
+        }
+        exec = std::make_unique<BlockExec>(*this, ev, ev->proc, &body,
+                                           std::move(env));
     }
-    auto exec = std::make_unique<BlockExec>(*this, ev, ev->proc, &body,
-                                            std::move(env));
-    BlockExec *raw = exec.get();
+    ExecBase *raw = exec.get();
     execs.push_back(std::move(exec));
     raw->start(t);
+}
+
+void
+Simulator::Impl::finishLaunch(Event *ev, Processor *proc, Cycles t)
+{
+    // Publish launch results into the creator environment so later
+    // consumers (e.g. follow-up launches capturing them) can resolve.
+    ir::Operation *op = ev->op;
+    for (unsigned i = 1; i < op->numResults(); ++i) {
+        eq_assert(ev->results.size() >= op->numResults() - 1,
+                  "launch body returned too few values");
+        ev->creatorEnv->bind(op->result(i).impl(), ev->results[i - 1]);
+    }
+    completeEvent(ev, t);
+    proc->setBusy(false);
+    scheduleAt(t, [this, proc, t] { tryIssue(proc, t); });
 }
 
 void

@@ -4,6 +4,11 @@
  * load/store, equeue read/write, streams), and event ops (control
  * chains, launch, memcpy, await). Dispatched through the engine's
  * OpId-indexed table; none of these compare op names.
+ *
+ * The memory/connection acquisition sequences and the linalg
+ * functional semantics live in Simulator::Impl cores shared with the
+ * compiled backend (compiled_exec.cc), so both backends stay
+ * cycle-identical by construction.
  */
 
 #include <algorithm>
@@ -16,6 +21,120 @@
 
 namespace eq {
 namespace sim {
+
+// ---------------------------------------------------------------------------
+// Shared data-motion cores
+
+Cycles
+Simulator::Impl::bufferAccessStart(BufferObj *buf, Connection *conn,
+                                   bool is_write, int64_t words,
+                                   int64_t bytes, Cycles now)
+{
+    Cycles start = now;
+    if (buf->mem) {
+        Cycles occ = buf->mem->getReadOrWriteCycles(is_write, words);
+        start = std::max(start, buf->mem->acquire(now, occ));
+        buf->mem->recordAccess(is_write, bytes);
+    }
+    if (conn) {
+        Cycles c = conn->transferCycles(bytes);
+        Cycles cstart = conn->acquireChannel(!is_write, start, c);
+        conn->recordTransfer(!is_write, cstart,
+                             cstart + std::max<Cycles>(c, 1), bytes);
+        noteActivity(cstart + c); // link busy past proc time
+        start = std::max(start, cstart);
+    }
+    return start;
+}
+
+void
+Simulator::Impl::streamPush(StreamFifo *fifo, Connection *conn,
+                            const std::vector<int64_t> &elems, Cycles now)
+{
+    int64_t bytes = static_cast<int64_t>(elems.size()) *
+                    ((fifo->dataBits() + 7) / 8);
+    Cycles avail = now;
+    if (conn) {
+        Cycles c = conn->transferCycles(bytes);
+        Cycles cstart = conn->acquireChannel(false, now, c);
+        conn->recordTransfer(false, cstart,
+                             cstart + std::max<Cycles>(c, 1), bytes);
+        avail = cstart + c;
+    }
+    for (int64_t v : elems)
+        fifo->push(v, avail);
+    noteActivity(avail);
+    notifyStream(fifo);
+}
+
+// ---------------------------------------------------------------------------
+// Shared linalg functional semantics
+
+void
+Simulator::Impl::linalgConvCompute(ir::Operation *op, BufferObj *ib,
+                                   BufferObj *wb, BufferObj *ob)
+{
+    auto d = linalg::convDims(op);
+    auto at3 = [](BufferObj *b, int64_t i, int64_t j,
+                  int64_t k) -> int64_t & {
+        auto &sh = b->data->shape;
+        return b->data->data[(i * sh[1] + j) * sh[2] + k];
+    };
+    for (int64_t n = 0; n < d.N; ++n)
+        for (int64_t eh = 0; eh < d.Eh; ++eh)
+            for (int64_t ew = 0; ew < d.Ew; ++ew) {
+                int64_t acc = at3(ob, n, eh, ew);
+                for (int64_t c = 0; c < d.C; ++c)
+                    for (int64_t fh = 0; fh < d.Fh; ++fh)
+                        for (int64_t fw = 0; fw < d.Fw; ++fw) {
+                            int64_t iv = at3(ib, c, eh + fh, ew + fw);
+                            auto &wsh = wb->data->shape;
+                            int64_t wv = wb->data->data
+                                [((n * wsh[1] + c) * wsh[2] + fh) *
+                                     wsh[3] +
+                                 fw];
+                            acc += iv * wv;
+                        }
+                at3(ob, n, eh, ew) = acc;
+            }
+    // Analytic memory traffic: per MAC, read ifmap+weight+ofmap
+    // and write ofmap once per accumulation chain.
+    int64_t word = 4;
+    if (ib->mem)
+        ib->mem->recordAccess(false, d.macs() * word);
+    if (wb->mem)
+        wb->mem->recordAccess(false, d.macs() * word);
+    if (ob->mem) {
+        ob->mem->recordAccess(false, d.macs() * word);
+        ob->mem->recordAccess(true, d.macs() * word);
+    }
+}
+
+void
+Simulator::Impl::linalgFillCompute(ir::Operation *op, BufferObj *b)
+{
+    linalg::FillOp fill(op);
+    std::fill(b->data->data.begin(), b->data->data.end(),
+              fill.fillValue());
+    if (b->mem)
+        b->mem->recordAccess(true, b->sizeBytes());
+}
+
+void
+Simulator::Impl::linalgMatmulCompute(BufferObj *a, BufferObj *bm,
+                                     BufferObj *c)
+{
+    auto &as = a->data->shape;
+    auto &bs = bm->data->shape;
+    for (int64_t i = 0; i < as[0]; ++i)
+        for (int64_t j = 0; j < bs[1]; ++j) {
+            int64_t acc = c->data->data[i * bs[1] + j];
+            for (int64_t k = 0; k < as[1]; ++k)
+                acc += a->data->data[i * as[1] + k] *
+                       bm->data->data[k * bs[1] + j];
+            c->data->data[i * bs[1] + j] = acc;
+        }
+}
 
 // ---------------------------------------------------------------------------
 // Scalar compute
@@ -112,12 +231,8 @@ BlockExec::execAffineLoadStore(ir::Operation *op, Cycles &now)
     for (ir::Value v : idx_vals)
         idx.push_back(eval(v).asInt());
     int64_t off = buf->data->offset(idx);
-    Cycles start = now;
-    if (buf->mem) {
-        Cycles occ = buf->mem->getReadOrWriteCycles(is_store, 1);
-        start = buf->mem->acquire(now, occ);
-        buf->mem->recordAccess(is_store, (buf->data->elemBits + 7) / 8);
-    }
+    Cycles start = _eng.bufferAccessStart(
+        buf, nullptr, is_store, 1, (buf->data->elemBits + 7) / 8, now);
     if (is_store)
         buf->data->data[off] = eval(store.value()).asInt();
     else
@@ -136,65 +251,15 @@ BlockExec::execLinalg(ir::Operation *op, Cycles &now)
     Cycles cycles = opCost(op);
     if (op->opId() == _eng.idConv) {
         linalg::ConvOp conv(op);
-        BufferObj *ib = eval(conv.ifmap()).asBuffer();
-        BufferObj *wb = eval(conv.weight()).asBuffer();
-        BufferObj *ob = eval(conv.ofmap()).asBuffer();
-        auto d = linalg::convDims(op);
-        // Functional semantics.
-        auto at3 = [](BufferObj *b, int64_t i, int64_t j,
-                      int64_t k) -> int64_t & {
-            auto &sh = b->data->shape;
-            return b->data->data[(i * sh[1] + j) * sh[2] + k];
-        };
-        for (int64_t n = 0; n < d.N; ++n)
-            for (int64_t eh = 0; eh < d.Eh; ++eh)
-                for (int64_t ew = 0; ew < d.Ew; ++ew) {
-                    int64_t acc = at3(ob, n, eh, ew);
-                    for (int64_t c = 0; c < d.C; ++c)
-                        for (int64_t fh = 0; fh < d.Fh; ++fh)
-                            for (int64_t fw = 0; fw < d.Fw; ++fw) {
-                                int64_t iv = at3(ib, c, eh + fh, ew + fw);
-                                auto &wsh = wb->data->shape;
-                                int64_t wv = wb->data->data
-                                    [((n * wsh[1] + c) * wsh[2] + fh) *
-                                         wsh[3] +
-                                     fw];
-                                acc += iv * wv;
-                            }
-                    at3(ob, n, eh, ew) = acc;
-                }
-        // Analytic memory traffic: per MAC, read ifmap+weight+ofmap
-        // and write ofmap once per accumulation chain.
-        int64_t word = 4;
-        if (ib->mem)
-            ib->mem->recordAccess(false, d.macs() * word);
-        if (wb->mem)
-            wb->mem->recordAccess(false, d.macs() * word);
-        if (ob->mem) {
-            ob->mem->recordAccess(false, d.macs() * word);
-            ob->mem->recordAccess(true, d.macs() * word);
-        }
+        _eng.linalgConvCompute(op, eval(conv.ifmap()).asBuffer(),
+                               eval(conv.weight()).asBuffer(),
+                               eval(conv.ofmap()).asBuffer());
     } else if (op->opId() == _eng.idFill) {
-        linalg::FillOp fill(op);
-        BufferObj *b = eval(op->operand(0)).asBuffer();
-        std::fill(b->data->data.begin(), b->data->data.end(),
-                  fill.fillValue());
-        if (b->mem)
-            b->mem->recordAccess(true, b->sizeBytes());
+        _eng.linalgFillCompute(op, eval(op->operand(0)).asBuffer());
     } else if (op->opId() == _eng.idMatmul) {
-        BufferObj *a = eval(op->operand(0)).asBuffer();
-        BufferObj *bm = eval(op->operand(1)).asBuffer();
-        BufferObj *c = eval(op->operand(2)).asBuffer();
-        auto &as = a->data->shape;
-        auto &bs = bm->data->shape;
-        for (int64_t i = 0; i < as[0]; ++i)
-            for (int64_t j = 0; j < bs[1]; ++j) {
-                int64_t acc = c->data->data[i * bs[1] + j];
-                for (int64_t k = 0; k < as[1]; ++k)
-                    acc += a->data->data[i * as[1] + k] *
-                           bm->data->data[k * bs[1] + j];
-                c->data->data[i * bs[1] + j] = acc;
-            }
+        _eng.linalgMatmulCompute(eval(op->operand(0)).asBuffer(),
+                                 eval(op->operand(1)).asBuffer(),
+                                 eval(op->operand(2)).asBuffer());
     }
     return advanceAfter(op, now, now, cycles);
 }
@@ -210,7 +275,6 @@ BlockExec::execRead(ir::Operation *op, Cycles &now)
     Connection *conn =
         read.hasConn() ? eval(read.conn()).asConnection() : nullptr;
     auto idx_vals = read.indices();
-    Cycles start = now;
     int64_t bytes;
     if (idx_vals.empty()) {
         auto copy = std::make_shared<Tensor>(*buf->data);
@@ -225,19 +289,8 @@ BlockExec::execRead(ir::Operation *op, Cycles &now)
              SimValue::ofInt(buf->data->data[buf->data->offset(idx)]));
     }
     int64_t words = idx_vals.empty() ? buf->data->numElements() : 1;
-    if (buf->mem) {
-        Cycles occ = buf->mem->getReadOrWriteCycles(false, words);
-        start = std::max(start, buf->mem->acquire(now, occ));
-        buf->mem->recordAccess(false, bytes);
-    }
-    if (conn) {
-        Cycles c = conn->transferCycles(bytes);
-        Cycles cstart = conn->acquireChannel(true, start, c);
-        conn->recordTransfer(true, cstart, cstart + std::max<Cycles>(c, 1),
-                             bytes);
-        _eng.noteActivity(cstart + c); // link busy past proc time
-        start = std::max(start, cstart);
-    }
+    Cycles start = _eng.bufferAccessStart(buf, conn, /*is_write=*/false,
+                                          words, bytes, now);
     return advanceAfter(op, now, start, opCost(op));
 }
 
@@ -268,23 +321,11 @@ BlockExec::execWrite(ir::Operation *op, Cycles &now)
         buf->data->data[0] = val.asInt();
         bytes = (buf->data->elemBits + 7) / 8;
     }
-    Cycles start = now;
     int64_t words = idx_vals.empty() && val.isTensor()
                         ? val.asTensor()->numElements()
                         : 1;
-    if (buf->mem) {
-        Cycles occ = buf->mem->getReadOrWriteCycles(true, words);
-        start = std::max(start, buf->mem->acquire(now, occ));
-        buf->mem->recordAccess(true, bytes);
-    }
-    if (conn) {
-        Cycles c = conn->transferCycles(bytes);
-        Cycles cstart = conn->acquireChannel(false, start, c);
-        conn->recordTransfer(false, cstart,
-                             cstart + std::max<Cycles>(c, 1), bytes);
-        _eng.noteActivity(cstart + c); // link busy past proc time
-        start = std::max(start, cstart);
-    }
+    Cycles start = _eng.bufferAccessStart(buf, conn, /*is_write=*/true,
+                                          words, bytes, now);
     return advanceAfter(op, now, start, opCost(op));
 }
 
@@ -333,21 +374,10 @@ BlockExec::execStreamWrite(ir::Operation *op, Cycles &now)
         elems = val.asTensor()->data;
     else
         elems.push_back(val.asInt());
-    int64_t bytes =
-        static_cast<int64_t>(elems.size()) * ((fifo->dataBits() + 7) / 8);
-    Cycles avail = now;
-    if (equeue::StreamWriteOp(op).hasConn()) {
-        Connection *conn = eval(op->operand(2)).asConnection();
-        Cycles c = conn->transferCycles(bytes);
-        Cycles cstart = conn->acquireChannel(false, now, c);
-        conn->recordTransfer(false, cstart,
-                             cstart + std::max<Cycles>(c, 1), bytes);
-        avail = cstart + c;
-    }
-    for (int64_t v : elems)
-        fifo->push(v, avail);
-    _eng.noteActivity(avail);
-    _eng.notifyStream(fifo);
+    Connection *conn = equeue::StreamWriteOp(op).hasConn()
+                           ? eval(op->operand(2)).asConnection()
+                           : nullptr;
+    _eng.streamPush(fifo, conn, elems, now);
     return advanceAfter(op, now, now, opCost(op));
 }
 

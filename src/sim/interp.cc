@@ -105,60 +105,91 @@ Simulator::Impl::buildDispatchTable(ir::Context &ctx)
     idMatmul = linalg::MatmulOp::id(ctx);
 
     handlers.assign(ctx.numInternedOpNames(), nullptr);
-    auto set = [&](const char *name, BlockExec::Handler h) {
+    // Built alongside the handlers: the compiled backend's dense
+    // opcode per interned op kind (the ModuleCompiler pre-lowers each
+    // op's OpId through this table exactly once, at compile time).
+    opcodes.assign(ctx.numInternedOpNames(), MOp::Bad);
+    auto set = [&](const char *name, BlockExec::Handler h, MOp mop) {
         ir::OpId id = ctx.lookupOpId(name);
-        if (id.valid())
+        if (id.valid()) {
             handlers[id.raw()] = h;
+            opcodes[id.raw()] = mop;
+        }
     };
 
     // Structure (elaborate.cc).
-    set(equeue::CreateProcOp::opName, &BlockExec::execCreateProc);
-    set(equeue::CreateDmaOp::opName, &BlockExec::execCreateDma);
-    set(equeue::CreateMemOp::opName, &BlockExec::execCreateMem);
-    set(equeue::CreateStreamOp::opName, &BlockExec::execCreateStream);
+    set(equeue::CreateProcOp::opName, &BlockExec::execCreateProc,
+        MOp::CreateProc);
+    set(equeue::CreateDmaOp::opName, &BlockExec::execCreateDma,
+        MOp::CreateDma);
+    set(equeue::CreateMemOp::opName, &BlockExec::execCreateMem,
+        MOp::CreateMem);
+    set(equeue::CreateStreamOp::opName, &BlockExec::execCreateStream,
+        MOp::CreateStream);
     set(equeue::CreateConnectionOp::opName,
-        &BlockExec::execCreateConnection);
-    set(equeue::CreateCompOp::opName, &BlockExec::execCreateOrAddComp);
-    set(equeue::AddCompOp::opName, &BlockExec::execCreateOrAddComp);
-    set(equeue::GetCompOp::opName, &BlockExec::execGetComp);
-    set(equeue::ExtractCompOp::opName, &BlockExec::execGetComp);
-    set(equeue::AllocOp::opName, &BlockExec::execAlloc);
-    set(memref::AllocOp::opName, &BlockExec::execAlloc);
-    set(equeue::DeallocOp::opName, &BlockExec::execDealloc);
-    set(memref::DeallocOp::opName, &BlockExec::execDealloc);
+        &BlockExec::execCreateConnection, MOp::CreateConnection);
+    set(equeue::CreateCompOp::opName, &BlockExec::execCreateOrAddComp,
+        MOp::CreateComp);
+    set(equeue::AddCompOp::opName, &BlockExec::execCreateOrAddComp,
+        MOp::CreateComp);
+    set(equeue::GetCompOp::opName, &BlockExec::execGetComp,
+        MOp::GetComp);
+    set(equeue::ExtractCompOp::opName, &BlockExec::execGetComp,
+        MOp::GetComp);
+    set(equeue::AllocOp::opName, &BlockExec::execAlloc, MOp::Alloc);
+    set(memref::AllocOp::opName, &BlockExec::execAlloc, MOp::Alloc);
+    set(equeue::DeallocOp::opName, &BlockExec::execDealloc,
+        MOp::Dealloc);
+    set(memref::DeallocOp::opName, &BlockExec::execDealloc,
+        MOp::Dealloc);
 
     // Control flow (this file).
-    set(affine::ForOp::opName, &BlockExec::execAffineFor);
-    set(affine::ParallelOp::opName, &BlockExec::execAffineParallel);
-    set(affine::YieldOp::opName, &BlockExec::execAffineYield);
-    set("builtin.module", &BlockExec::execNestedModule);
+    set(affine::ForOp::opName, &BlockExec::execAffineFor,
+        MOp::ForBegin);
+    set(affine::ParallelOp::opName, &BlockExec::execAffineParallel,
+        MOp::ParBegin);
+    set(affine::YieldOp::opName, &BlockExec::execAffineYield,
+        MOp::Yield);
+    set("builtin.module", &BlockExec::execNestedModule,
+        MOp::NestedModule);
 
     // Compute, data motion, events (handlers.cc).
-    set(arith::ConstantOp::opName, &BlockExec::execArithConstant);
-    set(arith::AddIOp::opName, &BlockExec::execAddI);
-    set(arith::SubIOp::opName, &BlockExec::execSubI);
-    set(arith::MulIOp::opName, &BlockExec::execMulI);
-    set(arith::DivSIOp::opName, &BlockExec::execDivSI);
-    set(arith::RemSIOp::opName, &BlockExec::execRemSI);
-    set(arith::AddFOp::opName, &BlockExec::execAddF);
-    set(arith::MulFOp::opName, &BlockExec::execMulF);
-    set(affine::LoadOp::opName, &BlockExec::execAffineLoadStore);
-    set(affine::StoreOp::opName, &BlockExec::execAffineLoadStore);
-    set(linalg::ConvOp::opName, &BlockExec::execLinalg);
-    set(linalg::FillOp::opName, &BlockExec::execLinalg);
-    set(linalg::MatmulOp::opName, &BlockExec::execLinalg);
-    set(equeue::ReadOp::opName, &BlockExec::execRead);
-    set(equeue::WriteOp::opName, &BlockExec::execWrite);
-    set(equeue::StreamReadOp::opName, &BlockExec::execStreamRead);
-    set(equeue::StreamWriteOp::opName, &BlockExec::execStreamWrite);
-    set(equeue::ControlStartOp::opName, &BlockExec::execControlStart);
-    set(equeue::ControlAndOp::opName, &BlockExec::execControlAndOr);
-    set(equeue::ControlOrOp::opName, &BlockExec::execControlAndOr);
-    set(equeue::LaunchOp::opName, &BlockExec::execLaunch);
-    set(equeue::MemcpyOp::opName, &BlockExec::execMemcpy);
-    set(equeue::AwaitOp::opName, &BlockExec::execAwait);
-    set(equeue::ReturnOp::opName, &BlockExec::execReturn);
-    set(equeue::ExternOp::opName, &BlockExec::execExtern);
+    set(arith::ConstantOp::opName, &BlockExec::execArithConstant,
+        MOp::Constant);
+    set(arith::AddIOp::opName, &BlockExec::execAddI, MOp::AddI);
+    set(arith::SubIOp::opName, &BlockExec::execSubI, MOp::SubI);
+    set(arith::MulIOp::opName, &BlockExec::execMulI, MOp::MulI);
+    set(arith::DivSIOp::opName, &BlockExec::execDivSI, MOp::DivSI);
+    set(arith::RemSIOp::opName, &BlockExec::execRemSI, MOp::RemSI);
+    set(arith::AddFOp::opName, &BlockExec::execAddF, MOp::AddF);
+    set(arith::MulFOp::opName, &BlockExec::execMulF, MOp::MulF);
+    set(affine::LoadOp::opName, &BlockExec::execAffineLoadStore,
+        MOp::Load);
+    set(affine::StoreOp::opName, &BlockExec::execAffineLoadStore,
+        MOp::Store);
+    set(linalg::ConvOp::opName, &BlockExec::execLinalg,
+        MOp::LinalgConv);
+    set(linalg::FillOp::opName, &BlockExec::execLinalg,
+        MOp::LinalgFill);
+    set(linalg::MatmulOp::opName, &BlockExec::execLinalg,
+        MOp::LinalgMatmul);
+    set(equeue::ReadOp::opName, &BlockExec::execRead, MOp::Read);
+    set(equeue::WriteOp::opName, &BlockExec::execWrite, MOp::Write);
+    set(equeue::StreamReadOp::opName, &BlockExec::execStreamRead,
+        MOp::StreamRead);
+    set(equeue::StreamWriteOp::opName, &BlockExec::execStreamWrite,
+        MOp::StreamWrite);
+    set(equeue::ControlStartOp::opName, &BlockExec::execControlStart,
+        MOp::ControlStart);
+    set(equeue::ControlAndOp::opName, &BlockExec::execControlAndOr,
+        MOp::ControlAnd);
+    set(equeue::ControlOrOp::opName, &BlockExec::execControlAndOr,
+        MOp::ControlOr);
+    set(equeue::LaunchOp::opName, &BlockExec::execLaunch, MOp::Launch);
+    set(equeue::MemcpyOp::opName, &BlockExec::execMemcpy, MOp::Memcpy);
+    set(equeue::AwaitOp::opName, &BlockExec::execAwait, MOp::Await);
+    set(equeue::ReturnOp::opName, &BlockExec::execReturn, MOp::Return);
+    set(equeue::ExternOp::opName, &BlockExec::execExtern, MOp::Extern);
 
     // Dialect-prefix fallbacks for interned names with no specific
     // handler: any other arith op reports a precise diagnostic; any
@@ -167,10 +198,13 @@ Simulator::Impl::buildDispatchTable(ir::Context &ctx)
         if (handlers[raw])
             continue;
         const std::string &name = ctx.opName(ir::OpId(raw));
-        if (startsWith(name, "arith."))
+        if (startsWith(name, "arith.")) {
             handlers[raw] = &BlockExec::execArithUnsupported;
-        else if (startsWith(name, "linalg."))
+            opcodes[raw] = MOp::ArithBad;
+        } else if (startsWith(name, "linalg.")) {
             handlers[raw] = &BlockExec::execLinalg;
+            opcodes[raw] = MOp::LinalgOther;
+        }
     }
 
     // Per-(class, op) cost table; strings are consulted only here.
@@ -288,20 +322,7 @@ BlockExec::finish(Cycles t)
     _eng.noteActivity(t);
     if (!_event)
         return; // module top level
-    // Publish launch results into the creator environment so later
-    // consumers (e.g. follow-up launches capturing them) can resolve.
-    ir::Operation *op = _event->op;
-    for (unsigned i = 1; i < op->numResults(); ++i) {
-        eq_assert(_event->results.size() >= op->numResults() - 1,
-                  "launch body returned too few values");
-        _event->creatorEnv->bind(op->result(i).impl(),
-                                 _event->results[i - 1]);
-    }
-    Processor *proc = _proc;
-    _eng.completeEvent(_event, t);
-    proc->setBusy(false);
-    Simulator::Impl &eng = _eng;
-    eng.scheduleAt(t, [&eng, proc, t] { eng.tryIssue(proc, t); });
+    _eng.finishLaunch(_event, _proc, t);
 }
 
 // ---------------------------------------------------------------------------

@@ -58,16 +58,21 @@ struct Tensor {
 
     /** Row-major flattened offset of a multi-dim index. */
     int64_t
-    offset(const std::vector<int64_t> &idx) const
+    offset(const int64_t *idx, size_t rank) const
     {
-        eq_assert(idx.size() == shape.size(), "tensor rank mismatch");
+        eq_assert(rank == shape.size(), "tensor rank mismatch");
         int64_t off = 0;
-        for (size_t i = 0; i < idx.size(); ++i) {
+        for (size_t i = 0; i < rank; ++i) {
             eq_assert(idx[i] >= 0 && idx[i] < shape[i],
                       "tensor index out of bounds");
             off = off * shape[i] + idx[i];
         }
         return off;
+    }
+    int64_t
+    offset(const std::vector<int64_t> &idx) const
+    {
+        return offset(idx.data(), idx.size());
     }
 };
 

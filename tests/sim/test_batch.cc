@@ -149,6 +149,73 @@ TEST(BatchSessionTest, TwoLiveSessionsAlternate)
     expectReportsIdentical(sa.run(), ra);
 }
 
+TEST(BatchSessionTest, CompiledBackendBatchesAreCycleIdentical)
+{
+    // The compiled backend caches the lowered micro-op programs across
+    // batched re-runs (sweeps pay compilation once per structural
+    // config); every run must still match a fresh-Simulator run.
+    auto cfg = smallConfig(4, scalesim::Dataflow::WS);
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = systolic::buildSystolicModule(ctx, cfg);
+    sim::EngineOptions opts;
+    opts.backend = sim::Backend::Compiled;
+    sim::Simulator s(opts);
+    sim::BatchSession session(s, module.get());
+
+    auto first = session.run();
+    expectReportsIdentical(first, freshRun(cfg));
+    for (int i = 0; i < 3; ++i)
+        expectReportsIdentical(session.run(), first);
+}
+
+TEST(BatchSessionTest, CompiledBackendSurvivesInterleavedPlainSimulate)
+{
+    // A plain simulate() of another module clears numbering *and* the
+    // compiled program cache; the session must recover (relower) on
+    // its next run.
+    auto cfg_a = smallConfig(4, scalesim::Dataflow::WS);
+    auto cfg_b = smallConfig(3, scalesim::Dataflow::OS);
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto mod_a = systolic::buildSystolicModule(ctx, cfg_a);
+    auto mod_b = systolic::buildSystolicModule(ctx, cfg_b);
+    sim::EngineOptions opts;
+    opts.backend = sim::Backend::Compiled;
+    sim::Simulator s(opts);
+    sim::BatchSession session(s, mod_a.get());
+
+    auto baseline = session.run();
+    auto other = s.simulate(mod_b.get());
+    expectReportsIdentical(other, freshRun(cfg_b));
+    expectReportsIdentical(session.run(), baseline);
+}
+
+TEST(BatchSessionTest, CompiledBackendSessionAfterModuleRebuild)
+{
+    // The sweep-worker rebuild path under the compiled backend: a new
+    // module may reuse the old one's block addresses; the new
+    // session's first run must renumber and relower from scratch.
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    sim::EngineOptions opts;
+    opts.backend = sim::Backend::Compiled;
+    sim::Simulator s(opts);
+    auto cfg1 = smallConfig(4, scalesim::Dataflow::WS);
+    auto cfg2 = smallConfig(3, scalesim::Dataflow::IS);
+
+    ir::OwningOpRef module = systolic::buildSystolicModule(ctx, cfg1);
+    auto report1 = [&] {
+        sim::BatchSession session(s, module.get());
+        return session.run();
+    }();
+    expectReportsIdentical(report1, freshRun(cfg1));
+
+    module = systolic::buildSystolicModule(ctx, cfg2);
+    sim::BatchSession session(s, module.get());
+    expectReportsIdentical(session.run(), freshRun(cfg2));
+}
+
 TEST(BatchSessionTest, SessionAfterModuleRebuildAtSameAddressIsSafe)
 {
     // The sweep-worker rebuild path: destroy the old module, build a
