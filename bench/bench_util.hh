@@ -137,6 +137,9 @@ fullSweepRequested()
  *   --backend B   engine backend: "interp" or "compiled" (overrides
  *                 EQ_SIM_BACKEND; results are identical, only wall
  *                 time differs)
+ *   --fuse M      superinstruction fusion on the compiled backend:
+ *                 "on" or "off" (overrides EQ_SIM_FUSE; default on;
+ *                 results are identical, only wall time differs)
  * Unrecognized arguments are preserved in @ref positional for
  * harness-specific parsing (e.g. systolic_explorer's shape).
  */
@@ -146,6 +149,7 @@ struct HarnessArgs {
     std::string jsonPath;
     bool noWall = false;
     sim::Backend backend = sim::Backend::Auto;
+    sim::Fusion fuse = sim::Fusion::Auto;
     std::vector<std::string> positional;
 
     static HarnessArgs
@@ -195,6 +199,20 @@ struct HarnessArgs {
                     std::exit(2);
                 }
             }
+            else if (arg == "--fuse") {
+                std::string v = next();
+                if (v == "on")
+                    a.fuse = sim::Fusion::On;
+                else if (v == "off")
+                    a.fuse = sim::Fusion::Off;
+                else {
+                    std::fprintf(stderr,
+                                 "--fuse expects 'on' or 'off', got "
+                                 "'%s'\n",
+                                 v.c_str());
+                    std::exit(2);
+                }
+            }
             else if (arg.rfind("--", 0) == 0) {
                 std::fprintf(stderr, "unknown option '%s'\n",
                              arg.c_str());
@@ -218,6 +236,7 @@ struct HarnessArgs {
     {
         sim::EngineOptions o;
         o.backend = backend;
+        o.fuse = fuse;
         return o;
     }
 

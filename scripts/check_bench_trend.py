@@ -12,14 +12,18 @@ Usage:
 
 Benchmarks are matched by exact name ("BM_SimulateSystolic/8"); the
 --track prefixes select which families gate the build (default:
-BM_SimulateSystolic, BM_EventDispatch, and BM_CompiledVsInterp).
-Untracked benchmarks are reported informationally. Stdlib only.
+BM_SimulateSystolic, BM_EventDispatch, BM_CompiledVsInterp, and
+BM_FusedVsCompiled). Untracked benchmarks are reported
+informationally. Stdlib only.
 
 First-run friendliness: a missing/unreadable/invalid baseline file
 exits 0 with a clear "no baseline yet" message (new branches and
 expired artifacts must not fail CI), and benchmarks absent from the
 baseline — e.g. ones introduced by the current change — are reported
-as "new" rather than gating anything.
+as "new" rather than gating anything. Tracked benchmarks present in
+the baseline but absent from the current run are loudly warned about
+(a rename must not silently drop trend coverage), without failing the
+build.
 """
 
 import argparse
@@ -50,7 +54,7 @@ def main():
                     help="max tolerated fractional regression (0.20 = +20%%)")
     ap.add_argument("--track", nargs="*",
                     default=["BM_SimulateSystolic", "BM_EventDispatch",
-                             "BM_CompiledVsInterp"],
+                             "BM_CompiledVsInterp", "BM_FusedVsCompiled"],
                     help="benchmark-name prefixes that gate the build")
     ap.add_argument("--metric", default="cpu_time",
                     choices=["cpu_time", "real_time"])
@@ -99,13 +103,31 @@ def main():
             status = "untracked"
         rows.append((name, b, c, delta, status))
 
+    # A tracked benchmark that was in the baseline but vanished from
+    # the current run means the gate lost coverage (most likely a
+    # rename). Don't fail — the successor is gated as "new" next run —
+    # but never let it pass silently either.
+    missing = [name for name in sorted(base)
+               if name not in curr
+               and any(name.startswith(p) for p in args.track)]
+    for name in missing:
+        rows.append((name, base[name][args.metric], None, None, "MISSING"))
+
     namew = max((len(r[0]) for r in rows), default=4)
     print(f"{'benchmark':<{namew}} {'baseline':>12} {'current':>12} "
           f"{'delta':>8}  status")
     for name, b, c, delta, status in rows:
         bs = f"{b:12.1f}" if b is not None else f"{'-':>12}"
+        cs = f"{c:12.1f}" if c is not None else f"{'-':>12}"
         ds = f"{delta:+7.1%}" if delta is not None else f"{'-':>8}"
-        print(f"{name:<{namew}} {bs} {c:12.1f} {ds}  {status}")
+        print(f"{name:<{namew}} {bs} {cs} {ds}  {status}")
+
+    if missing:
+        print(f"\nWARNING: {len(missing)} tracked benchmark(s) from the "
+              f"baseline are missing from the current run (renamed or "
+              f"removed?):", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
 
     if failures:
         print(f"\nFAIL: {len(failures)} tracked benchmark(s) regressed "

@@ -58,6 +58,7 @@ class ModuleCompiler {
         : _eng(eng), _prog(std::make_unique<CompiledBlock>())
     {
         const auto &vs = eng.scopeFor(root);
+        _prog->root = root;
         _prog->scopeId = vs.scopeId;
         _prog->numSlots = vs.numSlots;
         // Static environment chain: this scope, then each enclosing
@@ -332,6 +333,7 @@ Simulator::precompile(ir::Operation *module)
     // repeated calls measure (and re-do) the full lowering.
     impl.valueScopes.clear();
     impl.programs.clear();
+    impl.fusedPrograms.clear();
     impl.buildDispatchTable(module->context());
     size_t ops =
         impl.programFor(&module->region(0).front()).code.size();

@@ -44,6 +44,7 @@
 
 #include "ir/operation.hh"
 #include "sim/costmodel.hh"
+#include "sim/opfunctions.hh"
 #include "sim/simvalue.hh"
 
 namespace eq {
@@ -103,6 +104,9 @@ enum class MOp : uint8_t {
     Await,      ///< args = [events...] (none = all spawned)
     Return,
     Extern,     ///< aux -> resultPool (extra result slots)
+    // Superinstruction (sim/fuse.cc): one dispatch for a fused run of
+    // simple records. aux -> fusedGroups.
+    Fused,
     kCount
 };
 
@@ -116,13 +120,23 @@ struct SlotRef {
 
 constexpr uint32_t kNoSlot = 0xffffffffu;
 
-/** MicroOp::flags bits. */
+/** Deepest operand env-chain a fused group may reference; runs needing
+ *  more (absurdly deep launch nesting) are simply left unfused. */
+constexpr uint32_t kMaxFusedHops = 8;
+
+/** MicroOp::flags bits (shared by MicroOp and FusedElem). */
 enum : uint8_t {
     kFlagCounts = 1 << 0,      ///< counts toward opsExecuted (one per
                                ///< interpreter dispatch, for parity)
     kFlagHasConn = 1 << 1,     ///< data-motion op carries a connection
     kFlagIsAddComp = 1 << 2,   ///< CreateComp record is an add_comp
     kFlagEqueueAlloc = 1 << 3, ///< Alloc record is an equeue.alloc
+    kFlagImmIdx = 1 << 4,      ///< index operands folded to immediates
+                               ///< (aux/immBegin -> immIdx pool)
+    kFlagScalarize = 1 << 5,   ///< whole-cell read may bind a scalar
+                               ///< instead of materializing a tensor
+                               ///< (all uses proven scalar-compatible
+                               ///< and inside the fused group)
 };
 
 /**
@@ -150,6 +164,53 @@ struct MicroOp {
 
     bool counts() const { return flags & kFlagCounts; }
     bool hasConn() const { return flags & kFlagHasConn; }
+};
+
+/**
+ * One constituent of a fused superinstruction (MOp::Fused). Carries the
+ * same pre-resolved fields as the MicroOp it replaces plus the
+ * fusion-time specializations: the pre-combined cost row, an optional
+ * cached op-function pointer (Extern), a pre-built trace label, and
+ * immediate index offsets (kFlagImmIdx). Executing one FusedElem is
+ * observationally identical to executing the original record —
+ * per-element costs, memory/connection acquisition order, opsExecuted
+ * accounting, and trace lines are all preserved; only the per-record
+ * dispatch (and, with kFlagScalarize, dead tensor materialization) is
+ * gone.
+ */
+struct FusedElem {
+    MOp code = MOp::Bad;
+    uint8_t flags = 0;
+    uint16_t nargs = 0;
+    uint32_t argsBegin = 0;     ///< into CompiledBlock::args
+    uint32_t result = kNoSlot;
+    uint32_t aux = 0;           ///< per-opcode aux pool (consts, ...)
+    uint32_t immBegin = 0;      ///< into immIdx when kFlagImmIdx
+    uint32_t resultBegin = 0;   ///< Extern: into resultPool
+    uint32_t nresults = 0;      ///< Extern: result count
+    int64_t imm = 0;            ///< stream elems
+    ir::Operation *op = nullptr;
+    /** Extern: op function resolved at fuse time (registry entries are
+     *  node-stable, so the pointer survives later re-registrations);
+     *  null falls back to the by-signature lookup. */
+    const OpFunction *fn = nullptr;
+    /** Pre-built trace label (op name / extern signature). */
+    std::string label;
+    /** Pre-folded cost row, copied from the replaced record. */
+    std::array<Cycles, kNumCostClasses> cost{};
+
+    bool hasConn() const { return flags & kFlagHasConn; }
+    bool immIdx() const { return flags & kFlagImmIdx; }
+    bool scalarize() const { return flags & kFlagScalarize; }
+};
+
+/** A fused run of records, dispatched as one MOp::Fused record. */
+struct FusedGroup {
+    std::vector<FusedElem> elems;
+    /** Deepest env-chain hop count over all operand refs; the executor
+     *  resolves each chain level once per group entry instead of
+     *  walking parent links per operand ("SlotRef chain coalescing"). */
+    uint32_t maxHops = 0;
 };
 
 /** A compiled interpretation scope: the relocatable micro-op stream
@@ -193,6 +254,16 @@ struct CompiledBlock {
     };
     std::vector<Capture> captures;
 
+    /** Superinstruction groups (MOp::Fused records; sim/fuse.cc). Only
+     *  populated in optimized programs. */
+    std::vector<FusedGroup> fusedGroups;
+    /** Immediate index operands folded from same-scope constants
+     *  (records/elems with kFlagImmIdx). */
+    std::vector<int64_t> immIdx;
+
+    /** Root block this program was compiled from (keys the program
+     *  caches; lets the fusion pass map child programs). */
+    ir::Block *root = nullptr;
     /** Scope this program was compiled against (must match the
      *  executing environment's scopeId). */
     uint32_t scopeId = 0;

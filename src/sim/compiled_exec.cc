@@ -86,9 +86,12 @@ CompiledExec::resume(Cycles t)
     const MicroOp *code = _prog.code.data();
     for (;;) {
         const MicroOp &m = code[_pc];
-        if (m.counts() && ++_eng.opsExecuted > _eng.opts.maxOps)
-            eq_fatal("interpreted op budget exceeded (", _eng.opts.maxOps,
-                     "); runaway program?");
+        if (m.counts()) {
+            ++_eng.dispatchCount;
+            if (++_eng.opsExecuted > _eng.opts.maxOps)
+                eq_fatal("interpreted op budget exceeded (",
+                         _eng.opts.maxOps, "); runaway program?");
+        }
         switch (m.code) {
         // --- control flow -------------------------------------------
         case MOp::ForBegin: {
@@ -221,8 +224,9 @@ CompiledExec::resume(Cycles t)
         // --- affine memory ------------------------------------------
         case MOp::Load: {
             BufferObj *buf = arg(m, 0).asBuffer();
-            int64_t idx[kMaxRank];
-            const unsigned nidx = gatherIndices(m, 1, idx);
+            int64_t idxbuf[kMaxRank];
+            const unsigned nidx = m.nargs - 1;
+            const int64_t *idx = recordIndices(m, 1, idxbuf);
             int64_t off = buf->data->offset(idx, nidx);
             Cycles start = _eng.bufferAccessStart(
                 buf, nullptr, /*is_write=*/false, 1,
@@ -234,8 +238,9 @@ CompiledExec::resume(Cycles t)
         }
         case MOp::Store: {
             BufferObj *buf = arg(m, 1).asBuffer();
-            int64_t idx[kMaxRank];
-            const unsigned nidx = gatherIndices(m, 2, idx);
+            int64_t idxbuf[kMaxRank];
+            const unsigned nidx = m.nargs - 2;
+            const int64_t *idx = recordIndices(m, 2, idxbuf);
             int64_t off = buf->data->offset(idx, nidx);
             Cycles start = _eng.bufferAccessStart(
                 buf, nullptr, /*is_write=*/true, 1,
@@ -292,8 +297,8 @@ CompiledExec::resume(Cycles t)
                 words = buf->data->numElements();
                 bindLocal(m.result, SimValue::ofTensor(copy));
             } else {
-                int64_t idx[kMaxRank];
-                gatherIndices(m, idx0, idx);
+                int64_t idxbuf[kMaxRank];
+                const int64_t *idx = recordIndices(m, idx0, idxbuf);
                 bytes = (buf->data->elemBits + 7) / 8;
                 words = 1;
                 bindLocal(
@@ -324,8 +329,8 @@ CompiledExec::resume(Cycles t)
                             buf->data->data.begin());
                 bytes = n * ((buf->data->elemBits + 7) / 8);
             } else if (nidx > 0) {
-                int64_t idx[kMaxRank];
-                gatherIndices(m, idx0, idx);
+                int64_t idxbuf[kMaxRank];
+                const int64_t *idx = recordIndices(m, idx0, idxbuf);
                 buf->data->data[buf->data->offset(idx, nidx)] =
                     val.asInt();
                 bytes = (buf->data->elemBits + 7) / 8;
@@ -582,12 +587,465 @@ CompiledExec::resume(Cycles t)
             ++_pc;
             continue;
 
+        // --- superinstructions (sim/fuse.cc) ------------------------
+        case MOp::Fused:
+            if (execFused(m, now))
+                return;
+            continue;
+
         case MOp::Bad:
         default:
             eq_fatal("simulation engine cannot interpret op '",
                      m.op ? m.op->name() : "?", "'");
         }
     }
+}
+
+bool
+CompiledExec::chargeFused(const FusedElem &e, Cycles &now, Cycles start,
+                          Cycles cycles, uint32_t k)
+{
+    Cycles end = start + cycles;
+    if (_proc) {
+        _proc->recordBusy(cycles);
+        _proc->recordOp();
+        if (_eng.traceData.enabled()) {
+            if (start > now)
+                _eng.recordTrace("stall", _proc, now, start - now,
+                                 "stall");
+            if (cycles > 0)
+                _eng.recordTrace(e.label, _proc, start, cycles);
+        }
+    }
+    _eng.noteActivity(end);
+    if (end > now) {
+        // Same time-advance fast path as chargeAfter; a mid-group
+        // suspension saves the element position so resume re-enters
+        // the group exactly where the unfused stream would have
+        // resumed its next record.
+        if (_eng.heap.empty() || _eng.heap.front().t > end) {
+            _eng.now = end;
+            now = end;
+            return false;
+        }
+        _subPc = k + 2; // 1-based: resume at element k + 1
+        _eng.scheduleAt(end, [this, end] { resume(end); });
+        return true;
+    }
+    return false;
+}
+
+/*
+ * NOTE: each element case below intentionally restates the semantics
+ * of the record it replaces (third copy after the interp handler and
+ * the main switch) rather than sharing a templated core: the
+ * specializations — coalesced arg resolution, scalarized cell reads,
+ * cached extern functions, element-position suspension — are the
+ * point of fusion, and a shared abstraction would obscure the
+ * cycle-for-cycle mirroring that the three-way equivalence matrix
+ * (tests/sim/test_backend_equiv.cc) and the fused golden legs pin.
+ * When changing any op's semantics, update all three sites; the
+ * matrix tests fail on any divergence an op can exhibit in the golden
+ * workloads.
+ */
+bool
+CompiledExec::execFused(const MicroOp &m, Cycles &now)
+{
+    const FusedGroup &g = _prog.fusedGroups[m.aux];
+    // One jump-table dispatch for the whole group; re-entries after a
+    // mid-group suspension do not re-count it.
+    if (_subPc == 0)
+        ++_eng.dispatchCount;
+
+    // Coalesced operand chains: resolve each env-chain level once per
+    // entry instead of walking parent links per operand.
+    Env *levels[kMaxFusedHops + 1];
+    {
+        Env *e = _env.get();
+        levels[0] = e;
+        for (uint32_t h = 1; h <= g.maxHops; ++h) {
+            e = e->parent.get();
+            levels[h] = e;
+        }
+    }
+    auto slot = [&](const SlotRef &r) -> SimValue & {
+        return levels[r.hops]->slots[r.slot];
+    };
+    auto argOf = [&](const FusedElem &e, unsigned i) -> const SimValue & {
+        const SimValue &s = slot(_prog.args[e.argsBegin + i]);
+        eq_assert(!s.isNone(),
+                  "use of value with no runtime binding (op '",
+                  e.op ? e.op->name() : "?",
+                  "'): likely a missing event dependency");
+        return s;
+    };
+    auto indices = [&](const FusedElem &e, unsigned first,
+                       int64_t *buf) -> const int64_t * {
+        if (e.immIdx())
+            return _prog.immIdx.data() + e.immBegin;
+        const unsigned n = e.nargs - first;
+        eq_assert(n <= kMaxRank, "index rank exceeds kMaxRank");
+        for (unsigned i = 0; i < n; ++i)
+            buf[i] = argOf(e, first + i).asInt();
+        return buf;
+    };
+
+    uint32_t k = _subPc ? _subPc - 1 : 0;
+    _subPc = 0;
+    const uint32_t n = static_cast<uint32_t>(g.elems.size());
+    for (; k < n; ++k) {
+        const FusedElem &e = g.elems[k];
+        // opsExecuted parity: every element was a counted dispatch in
+        // the unfused stream (elements re-executed after a stream wait
+        // re-count, exactly like their records would).
+        if (++_eng.opsExecuted > _eng.opts.maxOps)
+            eq_fatal("interpreted op budget exceeded (", _eng.opts.maxOps,
+                     "); runaway program?");
+        switch (e.code) {
+        case MOp::Constant:
+            bindLocal(e.result, _prog.consts[e.aux]);
+            continue;
+        case MOp::AddI:
+            bindLocal(e.result, SimValue::ofInt(argOf(e, 0).asInt() +
+                                                argOf(e, 1).asInt()));
+            if (chargeFused(e, now, now, costOf(e), k))
+                return true;
+            continue;
+        case MOp::SubI:
+            bindLocal(e.result, SimValue::ofInt(argOf(e, 0).asInt() -
+                                                argOf(e, 1).asInt()));
+            if (chargeFused(e, now, now, costOf(e), k))
+                return true;
+            continue;
+        case MOp::MulI:
+            bindLocal(e.result, SimValue::ofInt(argOf(e, 0).asInt() *
+                                                argOf(e, 1).asInt()));
+            if (chargeFused(e, now, now, costOf(e), k))
+                return true;
+            continue;
+        case MOp::DivSI: {
+            int64_t lhs = argOf(e, 0).asInt();
+            int64_t rhs = argOf(e, 1).asInt();
+            bindLocal(e.result,
+                      SimValue::ofInt(rhs == 0 ? 0 : lhs / rhs));
+            if (chargeFused(e, now, now, costOf(e), k))
+                return true;
+            continue;
+        }
+        case MOp::RemSI: {
+            int64_t lhs = argOf(e, 0).asInt();
+            int64_t rhs = argOf(e, 1).asInt();
+            bindLocal(e.result,
+                      SimValue::ofInt(rhs == 0 ? 0 : lhs % rhs));
+            if (chargeFused(e, now, now, costOf(e), k))
+                return true;
+            continue;
+        }
+        case MOp::AddF:
+            bindLocal(e.result,
+                      SimValue::ofFloat(argOf(e, 0).asFloat() +
+                                        argOf(e, 1).asFloat()));
+            if (chargeFused(e, now, now, costOf(e), k))
+                return true;
+            continue;
+        case MOp::MulF:
+            bindLocal(e.result,
+                      SimValue::ofFloat(argOf(e, 0).asFloat() *
+                                        argOf(e, 1).asFloat()));
+            if (chargeFused(e, now, now, costOf(e), k))
+                return true;
+            continue;
+
+        case MOp::Load: {
+            BufferObj *buf = argOf(e, 0).asBuffer();
+            int64_t idxbuf[kMaxRank];
+            const unsigned nidx = e.nargs - 1;
+            const int64_t *idx = indices(e, 1, idxbuf);
+            int64_t off = buf->data->offset(idx, nidx);
+            Cycles start = _eng.bufferAccessStart(
+                buf, nullptr, /*is_write=*/false, 1,
+                (buf->data->elemBits + 7) / 8, now);
+            bindLocal(e.result, SimValue::ofInt(buf->data->data[off]));
+            if (chargeFused(e, now, start, costOf(e), k))
+                return true;
+            continue;
+        }
+        case MOp::Store: {
+            BufferObj *buf = argOf(e, 1).asBuffer();
+            int64_t idxbuf[kMaxRank];
+            const unsigned nidx = e.nargs - 2;
+            const int64_t *idx = indices(e, 2, idxbuf);
+            int64_t off = buf->data->offset(idx, nidx);
+            Cycles start = _eng.bufferAccessStart(
+                buf, nullptr, /*is_write=*/true, 1,
+                (buf->data->elemBits + 7) / 8, now);
+            buf->data->data[off] = argOf(e, 0).asInt();
+            if (chargeFused(e, now, start, costOf(e), k))
+                return true;
+            continue;
+        }
+
+        case MOp::Read: {
+            // Connection-carrying reads are never fused.
+            BufferObj *buf = argOf(e, 0).asBuffer();
+            const unsigned nidx = e.nargs - 1;
+            int64_t bytes;
+            int64_t words;
+            if (nidx == 0) {
+                if (e.scalarize() && buf->data->numElements() == 1) {
+                    // All uses proven in-group and scalar-compatible:
+                    // bind the cell's value directly — byte counts and
+                    // consumer behavior match the 1-element tensor the
+                    // unfused record would have materialized.
+                    bytes = (buf->data->elemBits + 7) / 8;
+                    words = 1;
+                    bindLocal(e.result,
+                              SimValue::ofInt(buf->data->data[0]));
+                } else {
+                    auto copy = std::make_shared<Tensor>(*buf->data);
+                    bytes = copy->sizeBytes();
+                    words = buf->data->numElements();
+                    bindLocal(e.result, SimValue::ofTensor(copy));
+                }
+            } else {
+                int64_t idxbuf[kMaxRank];
+                const int64_t *idx = indices(e, 1, idxbuf);
+                bytes = (buf->data->elemBits + 7) / 8;
+                words = 1;
+                bindLocal(
+                    e.result,
+                    SimValue::ofInt(
+                        buf->data
+                            ->data[buf->data->offset(idx, nidx)]));
+            }
+            Cycles start = _eng.bufferAccessStart(
+                buf, nullptr, /*is_write=*/false, words, bytes, now);
+            if (chargeFused(e, now, start, costOf(e), k))
+                return true;
+            continue;
+        }
+        case MOp::Write: {
+            const SimValue &val = argOf(e, 0);
+            BufferObj *buf = argOf(e, 1).asBuffer();
+            const unsigned nidx = e.nargs - 2;
+            int64_t bytes;
+            if (nidx == 0 && val.isTensor()) {
+                auto src = val.asTensor();
+                int64_t nn = std::min(src->numElements(),
+                                      buf->data->numElements());
+                std::copy_n(src->data.begin(), nn,
+                            buf->data->data.begin());
+                bytes = nn * ((buf->data->elemBits + 7) / 8);
+            } else if (nidx > 0) {
+                int64_t idxbuf[kMaxRank];
+                const int64_t *idx = indices(e, 2, idxbuf);
+                buf->data->data[buf->data->offset(idx, nidx)] =
+                    val.asInt();
+                bytes = (buf->data->elemBits + 7) / 8;
+            } else {
+                // Scalar into rank-0/1 buffer: write element 0.
+                buf->data->data[0] = val.asInt();
+                bytes = (buf->data->elemBits + 7) / 8;
+            }
+            int64_t words = nidx == 0 && val.isTensor()
+                                ? val.asTensor()->numElements()
+                                : 1;
+            Cycles start = _eng.bufferAccessStart(
+                buf, nullptr, /*is_write=*/true, words, bytes, now);
+            if (chargeFused(e, now, start, costOf(e), k))
+                return true;
+            continue;
+        }
+
+        case MOp::StreamRead: {
+            StreamFifo *fifo = argOf(e, 0).asStream();
+            size_t elems = static_cast<size_t>(e.imm);
+            Cycles ready = fifo->readyTime(elems);
+            if (ready == StreamFifo::kNoReadyTime) {
+                // Re-execute this element when the producer pushes
+                // (the unfused record re-executes the same way).
+                _subPc = k + 1; // 1-based: resume at element k
+                _eng.streamWaiters[fifo].push_back(
+                    [this] { resume(_eng.now); });
+                return true;
+            }
+            if (ready > now) {
+                if (_eng.heap.empty() || _eng.heap.front().t > ready) {
+                    _eng.now = ready;
+                    now = ready;
+                    --k; // re-execute this element at `ready`
+                    continue;
+                }
+                _subPc = k + 1; // 1-based: resume at element k
+                _eng.scheduleAt(ready,
+                                [this, ready] { resume(ready); });
+                return true;
+            }
+            auto vals = fifo->pop(elems);
+            auto tensor = Tensor::zeros({static_cast<int64_t>(elems)},
+                                        fifo->dataBits());
+            tensor->data = std::move(vals);
+            bindLocal(e.result, SimValue::ofTensor(tensor));
+            if (e.hasConn()) {
+                Connection *conn = argOf(e, 1).asConnection();
+                int64_t bytes = tensor->sizeBytes();
+                conn->recordTransfer(
+                    true, now,
+                    now + std::max<Cycles>(conn->transferCycles(bytes),
+                                           1),
+                    bytes);
+            }
+            if (chargeFused(e, now, now, costOf(e), k))
+                return true;
+            continue;
+        }
+        case MOp::StreamWrite: {
+            const SimValue &val = argOf(e, 0);
+            StreamFifo *fifo = argOf(e, 1).asStream();
+            Connection *conn =
+                e.hasConn() ? argOf(e, 2).asConnection() : nullptr;
+            std::vector<int64_t> elems;
+            if (val.isTensor())
+                elems = val.asTensor()->data;
+            else
+                elems.push_back(val.asInt());
+            _eng.streamPush(fifo, conn, elems, now);
+            if (chargeFused(e, now, now, costOf(e), k))
+                return true;
+            continue;
+        }
+
+        case MOp::Extern: {
+            // Scratch call frame + fuse-time-cached function pointer:
+            // no per-call signature lookup, no argument-vector churn.
+            _scratch.op = e.op;
+            _scratch.proc = _proc;
+            _scratch.args.clear();
+            _scratch.args.reserve(e.nargs);
+            for (unsigned i = 0; i < e.nargs; ++i)
+                _scratch.args.push_back(argOf(e, i));
+            OpFnResult r = e.fn ? (*e.fn)(_scratch)
+                                : _eng.opFns.invoke(e.label, _scratch);
+            eq_assert(r.results.size() >= e.nresults,
+                      "op function returned too few results for '",
+                      e.label, "'");
+            for (unsigned i = 0; i < e.nresults; ++i) {
+                eq_assert(!r.results[i].isNone(), "op function for '",
+                          e.label,
+                          "' returned an empty SimValue for result ",
+                          i);
+                bindLocal(_prog.resultPool[e.resultBegin + i],
+                          r.results[i]);
+            }
+            Cycles cycles = std::max(costOf(e), r.cycles);
+            if (chargeFused(e, now, now, cycles, k))
+                return true;
+            continue;
+        }
+
+        // --- events (position-independent, so they fuse too) --------
+        case MOp::ControlStart: {
+            Event *ev = _eng.newEvent(Event::Kind::Start, now);
+            _eng.completeEvent(ev, now);
+            bindLocal(e.result, SimValue::ofEvent(ev->id));
+            continue;
+        }
+        case MOp::ControlAnd:
+        case MOp::ControlOr: {
+            bool is_and = e.code == MOp::ControlAnd;
+            Event *ev = _eng.newEvent(
+                is_and ? Event::Kind::And : Event::Kind::Or, now);
+            std::vector<EventId> deps;
+            deps.reserve(e.nargs);
+            for (unsigned i = 0; i < e.nargs; ++i)
+                deps.push_back(argOf(e, i).asEvent());
+            ev->deps = deps;
+            bindLocal(e.result, SimValue::ofEvent(ev->id));
+            Event *evp = ev;
+            Simulator::Impl *eng = &_eng;
+            auto done = [eng, evp](Cycles dt) {
+                eng->completeEvent(evp, dt);
+            };
+            if (is_and)
+                _eng.whenAllDone(deps, done);
+            else
+                _eng.whenAnyDone(deps, done);
+            continue;
+        }
+        case MOp::Launch: {
+            unsigned ndeps = static_cast<unsigned>(e.imm);
+            Event *ev = _eng.newEvent(Event::Kind::Launch, now);
+            for (unsigned i = 0; i < ndeps; ++i)
+                ev->deps.push_back(argOf(e, i).asEvent());
+            ev->op = e.op;
+            ev->proc = static_cast<Processor *>(
+                argOf(e, ndeps).asComponent());
+            ev->creatorEnv = _env;
+            ev->bodyProg = _prog.childProgs[e.aux];
+            bindLocal(e.result, SimValue::ofEvent(ev->id));
+            _spawned.push_back(ev->id);
+            _eng.enqueueOnProcessor(ev, now);
+            continue;
+        }
+        case MOp::Memcpy: {
+            Event *ev = _eng.newEvent(Event::Kind::Memcpy, now);
+            ev->deps.push_back(argOf(e, 0).asEvent());
+            ev->op = e.op;
+            ev->src = argOf(e, 1).asBuffer();
+            ev->dst = argOf(e, 2).asBuffer();
+            ev->proc =
+                static_cast<Processor *>(argOf(e, 3).asComponent());
+            if (e.hasConn())
+                ev->conn = argOf(e, 4).asConnection();
+            ev->creatorEnv = _env;
+            bindLocal(e.result, SimValue::ofEvent(ev->id));
+            _spawned.push_back(ev->id);
+            _eng.enqueueOnProcessor(ev, now);
+            continue;
+        }
+        case MOp::Await: {
+            std::vector<EventId> ids;
+            if (e.nargs == 0) {
+                ids = _spawned;
+            } else {
+                ids.reserve(e.nargs);
+                for (unsigned i = 0; i < e.nargs; ++i)
+                    ids.push_back(argOf(e, i).asEvent());
+            }
+            bool all_done = true;
+            Cycles max_t = now;
+            for (EventId id : ids) {
+                Event *ev = _eng.event(id);
+                if (!ev->done)
+                    all_done = false;
+                else
+                    max_t = std::max(max_t, ev->doneTime);
+            }
+            if (all_done) {
+                now = std::max(now, max_t);
+                continue;
+            }
+            _subPc = k + 2; // 1-based: resume at element k + 1
+            _eng.whenAllDone(ids, [this, now](Cycles dt) {
+                resume(std::max(now, dt));
+            });
+            return true;
+        }
+        case MOp::Return:
+            // Only ever the last element of a group.
+            if (_event) {
+                for (unsigned i = 0; i < e.nargs; ++i)
+                    _event->results.push_back(argOf(e, i));
+            }
+            finish(now);
+            return true;
+
+        default:
+            eq_panic("unexpected opcode inside a fused group");
+        }
+    }
+    ++_pc;
+    return false;
 }
 
 } // namespace sim

@@ -93,6 +93,18 @@ class CompiledExec : public ExecBase {
         return n;
     }
 
+    /** Index operands of @p m, honoring the fuse pass's constant-index
+     *  folding: pre-folded records read straight from the immediate
+     *  pool, others gather from slots into @p buf. */
+    const int64_t *
+    recordIndices(const MicroOp &m, unsigned first, int64_t *buf) const
+    {
+        if (m.flags & kFlagImmIdx)
+            return _prog.immIdx.data() + m.aux;
+        gatherIndices(m, first, buf);
+        return buf;
+    }
+
     /** Pre-folded cost of @p m on the executing processor class. */
     Cycles
     costOf(const MicroOp &m) const
@@ -116,6 +128,32 @@ class CompiledExec : public ExecBase {
     bool chargeAfter(const MicroOp &m, Cycles &now, Cycles start,
                      Cycles cycles);
 
+    /** Execute the superinstruction @p m (MOp::Fused) from the saved
+     *  sub-position. Each constituent element is accounted exactly like
+     *  the record it replaced — per-element cost, memory/connection
+     *  acquisition, trace lines, opsExecuted, and suspend decisions —
+     *  so fused and unfused streams are byte-identical; only the
+     *  jump-table dispatch (and dead tensor materialization) is saved.
+     *  @return true when the group suspended (resume re-enters it at
+     *  @ref _subPc); false when it completed (pc already advanced). */
+    bool execFused(const MicroOp &m, Cycles &now);
+
+    /** Per-element chargeAfter twin: same accounting and time-advance
+     *  fast path, but suspension saves the element position instead of
+     *  advancing the pc. */
+    bool chargeFused(const FusedElem &e, Cycles &now, Cycles start,
+                     Cycles cycles, uint32_t k);
+
+    /** Pre-folded cost of fused element @p e on the executing class. */
+    Cycles
+    costOf(const FusedElem &e) const
+    {
+        Cycles c = e.cost[_cls];
+        if (c == CostModel::kDynamic)
+            c = CostModel::linalgCycles(e.op);
+        return c;
+    }
+
     void finish(Cycles t);
 
     Simulator::Impl &_eng;
@@ -125,6 +163,16 @@ class CompiledExec : public ExecBase {
     EnvPtr _env;
     unsigned _cls;      ///< pre-resolved cost-class row index
     uint32_t _pc = 0;
+    /** Resume position inside a suspended MOp::Fused group, 1-based:
+     *  0 = enter the group fresh, k+1 = resume at element k. The
+     *  bias keeps "fresh entry" distinguishable from "suspended at
+     *  element 0" (a group-leading stream read waiting on its
+     *  producer), so re-entries never re-count the group dispatch.
+     *  Only nonzero while suspended at _pc. */
+    uint32_t _subPc = 0;
+    /** Scratch equeue.op call frame: cleared per call, so repeated
+     *  extern elements reuse the argument vector's capacity. */
+    OpCall _scratch;
     std::vector<EventId> _spawned;
     bool _finished = false;
 };

@@ -96,6 +96,15 @@ class Device : public Component {
     Cycles
     acquire(Cycles now, Cycles cycles)
     {
+        // Zero-occupancy access with every queue free by `now` (the
+        // steady state of register files, whose accesses all cost 0):
+        // the access starts immediately, and writing `now` into the
+        // earliest-free queue would be unobservable — simulation time
+        // never decreases (runHeap asserts it), so queue times at or
+        // below the current cycle are forever interchangeable. Skip
+        // the scan and the store.
+        if (cycles == 0 && _maxNextFree <= now)
+            return now;
         // Pick the earliest-free queue deterministically.
         size_t best = 0;
         for (size_t i = 1; i < _nextFree.size(); ++i)
@@ -103,6 +112,7 @@ class Device : public Component {
                 best = i;
         Cycles start = std::max(now, _nextFree[best]);
         _nextFree[best] = start + cycles;
+        _maxNextFree = std::max(_maxNextFree, start + cycles);
         return start;
     }
 
@@ -113,6 +123,9 @@ class Device : public Component {
 
   private:
     std::vector<Cycles> _nextFree;
+    /** Upper bound over _nextFree (monotone; enables the zero-cost
+     *  acquire fast path above). */
+    Cycles _maxNextFree = 0;
 };
 
 /**

@@ -36,6 +36,22 @@ resolveBackend(Backend requested)
              env, "'");
 }
 
+/** Resolve Fusion::Auto against EQ_SIM_FUSE (default: on). */
+bool
+resolveFusion(Fusion requested)
+{
+    if (requested != Fusion::Auto)
+        return requested == Fusion::On;
+    const char *env = std::getenv("EQ_SIM_FUSE");
+    if (!env || !*env || std::strcmp(env, "1") == 0 ||
+        std::strcmp(env, "on") == 0)
+        return true;
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)
+        return false;
+    eq_fatal("EQ_SIM_FUSE must be '0'/'off' or '1'/'on', got '", env,
+             "'");
+}
+
 } // namespace
 
 SimReport
@@ -46,6 +62,7 @@ Simulator::Impl::buildReport(double wall_seconds) const
     rep.wallSeconds = wall_seconds;
     rep.eventsExecuted = eventsExecuted;
     rep.opsExecuted = opsExecuted;
+    rep.dispatchCount = dispatchCount;
     double cyc = std::max<double>(1.0, static_cast<double>(endTime));
 
     for (const auto &comp : components) {
@@ -110,6 +127,7 @@ Simulator::Simulator(EngineOptions opts) : _impl(std::make_unique<Impl>())
 {
     _impl->opts = opts;
     _impl->backend = resolveBackend(opts.backend);
+    _impl->fuse = resolveFusion(opts.fuse);
     _impl->traceData.setEnabled(opts.enableTrace);
 }
 
@@ -119,6 +137,12 @@ Backend
 Simulator::backend() const
 {
     return _impl->backend;
+}
+
+bool
+Simulator::fusionEnabled() const
+{
+    return _impl->fuse;
 }
 
 Trace &
@@ -168,7 +192,7 @@ Simulator::Impl::runModule(ir::Operation *module, bool reuse_compiled)
     if (backend == Backend::Compiled)
         exec = std::make_unique<CompiledExec>(*this, nullptr,
                                               rootProc.get(),
-                                              programFor(root),
+                                              execProgramFor(root),
                                               std::move(env));
     else
         exec = std::make_unique<BlockExec>(*this, nullptr,

@@ -49,6 +49,19 @@ namespace sim {
  */
 enum class Backend : uint8_t { Auto, Interp, Compiled };
 
+/**
+ * Superinstruction fusion over the compiled backend's micro-op streams
+ * (sim/fuse.cc): recurring record sequences — Read→Mac→Write PE
+ * bodies, Read→Write copies, StreamRead→compute→StreamWrite chains —
+ * collapse into single superinstruction records, so one dispatch
+ * executes the whole group. Observable behavior (cycles, reports,
+ * traces, opsExecuted) is byte-identical; only wall time and the
+ * dispatch count change. Auto resolves EQ_SIM_FUSE ("0"/"off" or
+ * "1"/"on") at Simulator construction, defaulting to on. Ignored by
+ * the interpreter backend.
+ */
+enum class Fusion : uint8_t { Auto, On, Off };
+
 /** Engine configuration. */
 struct EngineOptions {
     /** Record operation-level trace slices (costs memory). */
@@ -60,6 +73,9 @@ struct EngineOptions {
     /** Execution backend; Auto resolves EQ_SIM_BACKEND at Simulator
      *  construction. */
     Backend backend = Backend::Auto;
+    /** Superinstruction fusion (compiled backend only); Auto resolves
+     *  EQ_SIM_FUSE at Simulator construction (default on). */
+    Fusion fuse = Fusion::Auto;
 };
 
 /**
@@ -86,6 +102,10 @@ class Simulator {
 
     /** The resolved execution backend (never Backend::Auto). */
     Backend backend() const;
+
+    /** The resolved superinstruction-fusion switch (never
+     *  Fusion::Auto). Only affects the compiled backend. */
+    bool fusionEnabled() const;
 
     /**
      * Lower every region of @p module to micro-op streams now, from

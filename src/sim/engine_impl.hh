@@ -232,7 +232,7 @@ class BlockExec : public ExecBase {
     // Inline hot helpers (defined below, after Simulator::Impl).
     SimValue eval(ir::Value v) const;
     void bind(ir::Value v, SimValue s);
-    Step advanceAfter(ir::Operation *op, Cycles now, Cycles start,
+    Step advanceAfter(ir::Operation *op, Cycles &now, Cycles start,
                       Cycles cycles);
     Cycles opCost(ir::Operation *op) const;
     std::string traceLabel(ir::Operation *op) const;
@@ -258,6 +258,9 @@ struct Simulator::Impl {
     EngineOptions opts;
     /** Resolved execution backend (never Backend::Auto). */
     Backend backend = Backend::Interp;
+    /** Resolved superinstruction-fusion switch (never Fusion::Auto);
+     *  only consulted on the compiled backend. */
+    bool fuse = true;
     Trace traceData;
     OpFunctionRegistry opFns;
     ComponentFactory factory;
@@ -311,6 +314,23 @@ struct Simulator::Impl {
     /** Lower @p root once (cached); see compile.cc. */
     const CompiledBlock &programFor(ir::Block *root);
 
+    /** Fusion-optimized programs (sim/fuse.cc), cached and invalidated
+     *  exactly like @ref programs; launch-body children are optimized
+     *  first so parents pin the optimized child on Launch records. */
+    std::unordered_map<ir::Block *, std::unique_ptr<CompiledBlock>>
+        fusedPrograms;
+    /** Optimize @p root's program once (cached); see fuse.cc. */
+    const CompiledBlock &fusedProgramFor(ir::Block *root);
+
+    /** The program the compiled backend should execute for @p root:
+     *  the fusion-optimized stream when fusion is on, the plain
+     *  lowered stream otherwise. */
+    const CompiledBlock &
+    execProgramFor(ir::Block *root)
+    {
+        return fuse ? fusedProgramFor(root) : programFor(root);
+    }
+
     // --- per-run simulation state -------------------------------------
     std::vector<std::unique_ptr<Component>> components;
     std::vector<std::unique_ptr<BufferObj>> buffers;
@@ -346,6 +366,13 @@ struct Simulator::Impl {
     Cycles endTime = 0;
     uint64_t eventsExecuted = 0;
     uint64_t opsExecuted = 0;
+    /** Counted dispatches: how many times the execution loop entered a
+     *  counted unit of work. One per interpreted op (interp), one per
+     *  counted micro-op record (compiled) — so it equals opsExecuted on
+     *  both — and one per superinstruction group with fusion on, where
+     *  it drops strictly below opsExecuted (the fusion win, surfaced in
+     *  SimReport::dispatchCount). */
+    uint64_t dispatchCount = 0;
     std::unordered_map<std::string, int> nameCounters;
 
     // --- event core (event_core.cc) -----------------------------------
@@ -513,10 +540,17 @@ BlockExec::opCost(ir::Operation *op) const
 /**
  * Account for an op that occupies the processor from @p start for
  * @p cycles. Advances the instruction pointer; suspends when the op
- * ends later than @p now.
+ * ends later than @p now *and* another event is pending first. When
+ * this block's wake-up would be the very next heap pop anyway (every
+ * pending item is strictly later, and ties at `end` run older-first),
+ * time advances in place and interpretation continues without the
+ * scheduler round-trip — the same fast path the compiled backend's
+ * chargeAfter takes (ROADMAP "Interpreter time-advance fast path").
+ * Relative ordering of all other heap items is untouched, so traces
+ * stay byte-identical.
  */
 inline BlockExec::Step
-BlockExec::advanceAfter(ir::Operation *op, Cycles now, Cycles start,
+BlockExec::advanceAfter(ir::Operation *op, Cycles &now, Cycles start,
                         Cycles cycles)
 {
     Cycles end = start + cycles;
@@ -534,6 +568,11 @@ BlockExec::advanceAfter(ir::Operation *op, Cycles now, Cycles start,
     _eng.noteActivity(end);
     ++_frames.back().it;
     if (end > now) {
+        if (_eng.heap.empty() || _eng.heap.front().t > end) {
+            _eng.now = end;
+            now = end;
+            return Step::Continue;
+        }
         _eng.scheduleAt(end, [this, end] { resume(end); });
         return Step::Suspend;
     }

@@ -29,12 +29,15 @@ Simulator::Impl::reset(bool keep_numbering)
     endTime = 0;
     eventsExecuted = 0;
     opsExecuted = 0;
+    dispatchCount = 0;
     nameCounters.clear();
     if (!keep_numbering) {
         valueScopes.clear();
         // Compiled programs embed the numbering (slot refs resolved
-        // against it), so they live and die with it.
+        // against it), so they — and their fused rewrites — live and
+        // die with it.
         programs.clear();
+        fusedPrograms.clear();
     }
     traceData.clear();
     rootProc = std::make_unique<Processor>("host", "Root");
@@ -202,11 +205,12 @@ Simulator::Impl::issueLaunch(Event *ev, Cycles t)
     std::unique_ptr<ExecBase> exec;
     if (backend == Backend::Compiled) {
         // Pre-compiled issue: the body program (pinned on the event by
-        // the Launch micro-op) already knows its scope size and its
-        // capture mapping, so no per-issue numbering lookup and no use
-        // chain walks — captures are slot-to-slot copies.
+        // the Launch micro-op — already the fused rewrite when fusion
+        // is on) knows its scope size and its capture mapping, so no
+        // per-issue numbering lookup and no use chain walks — captures
+        // are slot-to-slot copies.
         const CompiledBlock &prog =
-            ev->bodyProg ? *ev->bodyProg : programFor(&body);
+            ev->bodyProg ? *ev->bodyProg : execProgramFor(&body);
         auto env = std::make_shared<Env>();
         env->scopeId = prog.scopeId;
         env->slots.resize(prog.numSlots);

@@ -241,6 +241,7 @@ BlockExec::resume(Cycles t)
             continue;
         }
         ir::Operation *op = *f.it;
+        ++_eng.dispatchCount;
         if (++_eng.opsExecuted > _eng.opts.maxOps)
             eq_fatal("interpreted op budget exceeded (", _eng.opts.maxOps,
                      "); runaway program?");

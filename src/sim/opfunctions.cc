@@ -91,6 +91,13 @@ OpFunctionRegistry::has(const std::string &signature) const
     return _fns.count(signature) > 0;
 }
 
+const OpFunction *
+OpFunctionRegistry::find(const std::string &signature) const
+{
+    auto it = _fns.find(signature);
+    return it == _fns.end() ? nullptr : &it->second;
+}
+
 OpFnResult
 OpFunctionRegistry::invoke(const std::string &signature,
                            const OpCall &call) const

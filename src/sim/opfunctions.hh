@@ -48,6 +48,13 @@ class OpFunctionRegistry {
     void registerOp(const std::string &signature, OpFunction fn);
     bool has(const std::string &signature) const;
 
+    /** Resolve a signature to its registered function, or null. The
+     *  returned pointer stays valid (and observes re-registrations of
+     *  the same signature) for the registry's lifetime — the map is
+     *  node-based and entries are never erased. Used by the fusion
+     *  pass to cache the lookup out of the superinstruction hot path. */
+    const OpFunction *find(const std::string &signature) const;
+
     /** Invoke; fatal if the signature is unknown. */
     OpFnResult invoke(const std::string &signature,
                       const OpCall &call) const;

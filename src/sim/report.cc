@@ -33,6 +33,11 @@ SimReport::print(std::ostream &os) const
        << wallSeconds << " s\n";
     os << "events executed:   " << eventsExecuted << "\n";
     os << "ops executed:      " << opsExecuted << "\n";
+    // Only interesting when fusion collapsed dispatches; printing it
+    // unconditionally would make otherwise-identical backend reports
+    // differ.
+    if (dispatchCount != 0 && dispatchCount != opsExecuted)
+        os << "dispatches:        " << dispatchCount << "\n";
     if (!memories.empty()) {
         os << "--- memories ---\n";
         for (const auto &m : memories) {

@@ -1,16 +1,20 @@
 /**
  * @file
- * Backend equivalence: the compiled backend must be *observationally
- * byte-identical* to the interpreter — same cycles, same event/op
- * counts, same per-memory traffic, per-connection bandwidth
- * statistics, per-processor utilization, and the same operation-level
- * trace stream (times, durations, labels, and record order) — across
- * the six golden-trace scenarios (FIR on AI Engines, conv lowered
- * through the full pass pipeline onto 4x4/8x8 WS/OS systolic arrays).
+ * Backend equivalence: the compiled backend — with superinstruction
+ * fusion off *and* on — must be *observationally byte-identical* to
+ * the interpreter: same cycles, same event/op counts, same per-memory
+ * traffic, per-connection bandwidth statistics, per-processor
+ * utilization, and the same operation-level trace stream (times,
+ * durations, labels, and record order) — across the six golden-trace
+ * scenarios (FIR on AI Engines, conv lowered through the full pass
+ * pipeline onto 4x4/8x8 WS/OS systolic arrays). The only sanctioned
+ * difference is SimReport::dispatchCount: equal to opsExecuted on the
+ * interpreter and the unfused compiled backend, strictly lower with
+ * fusion on (the fusion win).
  *
  * Also pins the backend-selection seam: EngineOptions::backend wins,
  * EQ_SIM_BACKEND resolves Backend::Auto, and the default is the
- * interpreter.
+ * interpreter (ditto EngineOptions::fuse / EQ_SIM_FUSE, default on).
  */
 
 #include <cstdlib>
@@ -35,6 +39,16 @@ struct RunOutcome {
     std::vector<std::string> trace; ///< one rendered line per event
 };
 
+/** The three execution modes of the equivalence matrix. */
+struct Mode {
+    sim::Backend backend;
+    sim::Fusion fuse;
+};
+
+constexpr Mode kInterp{sim::Backend::Interp, sim::Fusion::Off};
+constexpr Mode kCompiled{sim::Backend::Compiled, sim::Fusion::Off};
+constexpr Mode kFused{sim::Backend::Compiled, sim::Fusion::On};
+
 std::vector<std::string>
 renderTrace(const sim::Trace &trace)
 {
@@ -58,6 +72,8 @@ expectOutcomesIdentical(const RunOutcome &interp,
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
     EXPECT_EQ(a.opsExecuted, b.opsExecuted);
+    // dispatchCount is deliberately NOT compared here: it is the one
+    // backend-dependent report field (see the matrix tests below).
 
     ASSERT_EQ(a.memories.size(), b.memories.size());
     for (size_t i = 0; i < a.memories.size(); ++i) {
@@ -99,15 +115,38 @@ expectOutcomesIdentical(const RunOutcome &interp,
             << "first trace divergence at event " << i;
 }
 
+/** Assert the whole three-way matrix for one scenario: interp vs
+ *  compiled vs compiled+fused outcomes line-identical, opsExecuted
+ *  dispatch parity off fusion, and a strict dispatch-count drop with
+ *  fusion on (the systolic PE bodies must actually fuse). */
+void
+expectMatrix(const RunOutcome &interp, const RunOutcome &compiled,
+             const RunOutcome &fused, bool expect_fusion_win)
+{
+    expectOutcomesIdentical(interp, compiled);
+    expectOutcomesIdentical(interp, fused);
+    expectOutcomesIdentical(compiled, fused);
+    EXPECT_EQ(interp.report.dispatchCount, interp.report.opsExecuted);
+    EXPECT_EQ(compiled.report.dispatchCount,
+              compiled.report.opsExecuted);
+    if (expect_fusion_win)
+        EXPECT_LT(fused.report.dispatchCount,
+                  compiled.report.dispatchCount);
+    else
+        EXPECT_LE(fused.report.dispatchCount,
+                  compiled.report.dispatchCount);
+}
+
 RunOutcome
-runFir(sim::Backend backend, const aie::FirConfig &cfg)
+runFir(Mode mode, const aie::FirConfig &cfg)
 {
     ir::Context ctx;
     ir::registerAllDialects(ctx);
     auto module = aie::buildFirModule(ctx, cfg);
     sim::EngineOptions opts;
     opts.enableTrace = true;
-    opts.backend = backend;
+    opts.backend = mode.backend;
+    opts.fuse = mode.fuse;
     sim::Simulator s(opts);
     RunOutcome out;
     out.report = s.simulate(module.get());
@@ -116,7 +155,7 @@ runFir(sim::Backend backend, const aie::FirConfig &cfg)
 }
 
 RunOutcome
-runSystolic(sim::Backend backend, int array, scalesim::Dataflow df)
+runSystolic(Mode mode, int array, scalesim::Dataflow df)
 {
     scalesim::Config cfg;
     cfg.ah = cfg.aw = array;
@@ -136,7 +175,8 @@ runSystolic(sim::Backend backend, int array, scalesim::Dataflow df)
 
     sim::EngineOptions opts;
     opts.enableTrace = true;
-    opts.backend = backend;
+    opts.backend = mode.backend;
+    opts.fuse = mode.fuse;
     sim::Simulator s(opts);
     RunOutcome out;
     out.report = s.simulate(module.get());
@@ -146,74 +186,81 @@ runSystolic(sim::Backend backend, int array, scalesim::Dataflow df)
 
 TEST(BackendEquivTest, FirAieCase3)
 {
-    expectOutcomesIdentical(
-        runFir(sim::Backend::Interp, aie::FirConfig::case3()),
-        runFir(sim::Backend::Compiled, aie::FirConfig::case3()));
+    expectMatrix(runFir(kInterp, aie::FirConfig::case3()),
+                 runFir(kCompiled, aie::FirConfig::case3()),
+                 runFir(kFused, aie::FirConfig::case3()),
+                 /*expect_fusion_win=*/true);
 }
 
 TEST(BackendEquivTest, FirAieCase4)
 {
-    expectOutcomesIdentical(
-        runFir(sim::Backend::Interp, aie::FirConfig::case4()),
-        runFir(sim::Backend::Compiled, aie::FirConfig::case4()));
+    expectMatrix(runFir(kInterp, aie::FirConfig::case4()),
+                 runFir(kCompiled, aie::FirConfig::case4()),
+                 runFir(kFused, aie::FirConfig::case4()),
+                 /*expect_fusion_win=*/true);
 }
 
 TEST(BackendEquivTest, Systolic4x4Ws)
 {
-    expectOutcomesIdentical(
-        runSystolic(sim::Backend::Interp, 4, scalesim::Dataflow::WS),
-        runSystolic(sim::Backend::Compiled, 4, scalesim::Dataflow::WS));
+    expectMatrix(runSystolic(kInterp, 4, scalesim::Dataflow::WS),
+                 runSystolic(kCompiled, 4, scalesim::Dataflow::WS),
+                 runSystolic(kFused, 4, scalesim::Dataflow::WS),
+                 /*expect_fusion_win=*/true);
 }
 
 TEST(BackendEquivTest, Systolic4x4Os)
 {
-    expectOutcomesIdentical(
-        runSystolic(sim::Backend::Interp, 4, scalesim::Dataflow::OS),
-        runSystolic(sim::Backend::Compiled, 4, scalesim::Dataflow::OS));
+    expectMatrix(runSystolic(kInterp, 4, scalesim::Dataflow::OS),
+                 runSystolic(kCompiled, 4, scalesim::Dataflow::OS),
+                 runSystolic(kFused, 4, scalesim::Dataflow::OS),
+                 /*expect_fusion_win=*/true);
 }
 
 TEST(BackendEquivTest, Systolic8x8Ws)
 {
-    expectOutcomesIdentical(
-        runSystolic(sim::Backend::Interp, 8, scalesim::Dataflow::WS),
-        runSystolic(sim::Backend::Compiled, 8, scalesim::Dataflow::WS));
+    expectMatrix(runSystolic(kInterp, 8, scalesim::Dataflow::WS),
+                 runSystolic(kCompiled, 8, scalesim::Dataflow::WS),
+                 runSystolic(kFused, 8, scalesim::Dataflow::WS),
+                 /*expect_fusion_win=*/true);
 }
 
 TEST(BackendEquivTest, Systolic8x8Os)
 {
-    expectOutcomesIdentical(
-        runSystolic(sim::Backend::Interp, 8, scalesim::Dataflow::OS),
-        runSystolic(sim::Backend::Compiled, 8, scalesim::Dataflow::OS));
+    expectMatrix(runSystolic(kInterp, 8, scalesim::Dataflow::OS),
+                 runSystolic(kCompiled, 8, scalesim::Dataflow::OS),
+                 runSystolic(kFused, 8, scalesim::Dataflow::OS),
+                 /*expect_fusion_win=*/true);
 }
 
-/** Save/restore EQ_SIM_BACKEND so this test is env-neutral even when
- *  the whole suite runs under the compiled CI leg. */
-class BackendEnvGuard {
+/** Save/restore one environment variable so the selection-seam tests
+ *  are env-neutral even under the compiled/fused CI legs. */
+class EnvGuard {
   public:
-    BackendEnvGuard()
+    explicit EnvGuard(const char *name) : _name(name)
     {
-        const char *v = std::getenv("EQ_SIM_BACKEND");
+        const char *v = std::getenv(name);
         if (v) {
             _had = true;
             _old = v;
         }
     }
-    ~BackendEnvGuard()
+    ~EnvGuard()
     {
         if (_had)
-            setenv("EQ_SIM_BACKEND", _old.c_str(), 1);
+            setenv(_name, _old.c_str(), 1);
         else
-            unsetenv("EQ_SIM_BACKEND");
+            unsetenv(_name);
     }
 
   private:
+    const char *_name;
     bool _had = false;
     std::string _old;
 };
 
 TEST(BackendEquivTest, SelectionSeam)
 {
-    BackendEnvGuard guard;
+    EnvGuard guard("EQ_SIM_BACKEND");
 
     unsetenv("EQ_SIM_BACKEND");
     EXPECT_EQ(sim::Simulator().backend(), sim::Backend::Interp);
@@ -229,6 +276,33 @@ TEST(BackendEquivTest, SelectionSeam)
     opts.backend = sim::Backend::Compiled;
     setenv("EQ_SIM_BACKEND", "interp", 1);
     EXPECT_EQ(sim::Simulator(opts).backend(), sim::Backend::Compiled);
+}
+
+TEST(BackendEquivTest, FusionSelectionSeam)
+{
+    EnvGuard guard("EQ_SIM_FUSE");
+
+    // Default on.
+    unsetenv("EQ_SIM_FUSE");
+    EXPECT_TRUE(sim::Simulator().fusionEnabled());
+
+    setenv("EQ_SIM_FUSE", "0", 1);
+    EXPECT_FALSE(sim::Simulator().fusionEnabled());
+    setenv("EQ_SIM_FUSE", "off", 1);
+    EXPECT_FALSE(sim::Simulator().fusionEnabled());
+    setenv("EQ_SIM_FUSE", "1", 1);
+    EXPECT_TRUE(sim::Simulator().fusionEnabled());
+    setenv("EQ_SIM_FUSE", "on", 1);
+    EXPECT_TRUE(sim::Simulator().fusionEnabled());
+
+    // An explicit option always beats the environment.
+    sim::EngineOptions opts;
+    opts.fuse = sim::Fusion::On;
+    setenv("EQ_SIM_FUSE", "0", 1);
+    EXPECT_TRUE(sim::Simulator(opts).fusionEnabled());
+    opts.fuse = sim::Fusion::Off;
+    unsetenv("EQ_SIM_FUSE");
+    EXPECT_FALSE(sim::Simulator(opts).fusionEnabled());
 }
 
 TEST(BackendEquivTest, PrecompileCountsMicroOps)
