@@ -22,6 +22,7 @@
 #include "ir/builder.hh"
 #include "scalesim/scalesim.hh"
 #include "sim/engine.hh"
+#include "soc/soc.hh"
 #include "sweep/grid.hh"
 #include "sweep/runner.hh"
 #include "sweep/table.hh"
@@ -117,6 +118,77 @@ runSystolic(const scalesim::Config &cfg)
 {
     SystolicWorker worker;
     return worker.run(cfg);
+}
+
+/** Engine-side result of simulating one SoC configuration. */
+struct SocRun {
+    sim::SimReport report;
+    int64_t busReadBytes = 0;
+    int64_t busWriteBytes = 0;
+    double busMaxPortion = 0.0; ///< peak bus occupancy (read+write)
+    double buildSeconds = 0.0;  ///< module (re)build; 0 when reused
+    double simSeconds = 0.0;    ///< engine wall time
+};
+
+/**
+ * Per-worker SoC simulation state for sharded sweeps: the SocWorker
+ * analogue of SystolicWorker, keyed on soc::SocConfig — one Context +
+ * Simulator per worker, module and BatchSession reused while the
+ * point's config is value-equal to the previous one.
+ */
+class SocWorker {
+  public:
+    explicit SocWorker(sim::EngineOptions opts = {}) : _sim(opts)
+    {
+        ir::registerAllDialects(_ctx);
+    }
+
+    SocRun
+    run(const soc::SocConfig &cfg)
+    {
+        using clock = std::chrono::steady_clock;
+        SocRun out;
+        if (!_session || _cfg != cfg) {
+            auto b0 = clock::now();
+            _session.reset(); // session pins the module; drop it first
+            _module = soc::buildSocModule(_ctx, cfg);
+            _session.emplace(_sim, _module.get());
+            _cfg = cfg;
+            out.buildSeconds =
+                std::chrono::duration<double>(clock::now() - b0).count();
+        }
+        out.report = _session->run();
+        out.simSeconds = out.report.wallSeconds;
+        if (!out.report.connections.empty()) {
+            // The bus is the first connection the generator creates.
+            const auto &bus = out.report.connections.front();
+            out.busReadBytes = bus.readBytes;
+            out.busWriteBytes = bus.writeBytes;
+            out.busMaxPortion =
+                bus.maxBwPortionRead + bus.maxBwPortionWrite;
+        }
+        return out;
+    }
+
+  private:
+    ir::Context _ctx;
+    sim::Simulator _sim;
+    ir::OwningOpRef _module;
+    std::optional<sim::BatchSession> _session;
+    soc::SocConfig _cfg;
+};
+
+/** One pool of SoC workers sized for @p runner sharding @p num_points. */
+inline std::vector<std::unique_ptr<SocWorker>>
+makeSocWorkers(const sweep::SweepRunner &runner, size_t num_points,
+               sim::EngineOptions opts = {})
+{
+    std::vector<std::unique_ptr<SocWorker>> workers;
+    unsigned n = runner.threadsFor(num_points);
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.push_back(std::make_unique<SocWorker>(opts));
+    return workers;
 }
 
 /** True when the full (slow) sweep was requested via EQ_FULL_SWEEP=1. */

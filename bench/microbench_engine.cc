@@ -156,6 +156,39 @@ BENCHMARK_CAPTURE(BM_FusedVsCompiled, fused, sim::Fusion::On)
     ->Arg(8);
 
 void
+BM_SoCContention(benchmark::State &state)
+{
+    // Multi-accelerator SoC with a shared bus/DMA: batched re-runs of
+    // one pinned module, so the legs measure the engine's contention
+    // machinery — connection-channel arbitration, DMA FIFO queueing,
+    // SRAM bank occupancy, and wide awaits across tiles. The arg is
+    // the bus bandwidth in bytes/cycle: 1 is bandwidth-starved (heavy
+    // arbitration traffic), 8 is the balanced design point. The SoC
+    // bodies are also rich in connection-carrying reads/writes the
+    // fuser must skip, so this doubles as the profile workload for
+    // follow-on fusion work (dispatches vs ops in the counters).
+    soc::SocConfig cfg = soc::SocConfig::dualSharedBus();
+    cfg.busBytesPerCycle = state.range(0);
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = soc::buildSocModule(ctx, cfg);
+    sim::Simulator s;
+    sim::BatchSession session(s, module.get());
+    uint64_t cycles = 0, ops = 0, dispatches = 0;
+    for (auto _ : state) {
+        auto rep = session.run();
+        cycles = rep.cycles;
+        ops = rep.opsExecuted;
+        dispatches = rep.dispatchCount;
+        benchmark::DoNotOptimize(rep.cycles);
+    }
+    state.counters["cycles"] = static_cast<double>(cycles);
+    state.counters["ops"] = static_cast<double>(ops);
+    state.counters["dispatches"] = static_cast<double>(dispatches);
+}
+BENCHMARK(BM_SoCContention)->Arg(1)->Arg(8);
+
+void
 BM_CompileModule(benchmark::State &state)
 {
     // Compilation cost alone (value numbering + lowering every region,

@@ -12,9 +12,9 @@ Usage:
 
 Benchmarks are matched by exact name ("BM_SimulateSystolic/8"); the
 --track prefixes select which families gate the build (default:
-BM_SimulateSystolic, BM_EventDispatch, BM_CompiledVsInterp, and
-BM_FusedVsCompiled). Untracked benchmarks are reported
-informationally. Stdlib only.
+BM_SimulateSystolic, BM_EventDispatch, BM_CompiledVsInterp,
+BM_FusedVsCompiled, and BM_SoCContention). Untracked benchmarks are
+reported informationally. Stdlib only.
 
 First-run friendliness: a missing/unreadable/invalid baseline file
 exits 0 with a clear "no baseline yet" message (new branches and
@@ -54,7 +54,8 @@ def main():
                     help="max tolerated fractional regression (0.20 = +20%%)")
     ap.add_argument("--track", nargs="*",
                     default=["BM_SimulateSystolic", "BM_EventDispatch",
-                             "BM_CompiledVsInterp", "BM_FusedVsCompiled"],
+                             "BM_CompiledVsInterp", "BM_FusedVsCompiled",
+                             "BM_SoCContention"],
                     help="benchmark-name prefixes that gate the build")
     ap.add_argument("--metric", default="cpu_time",
                     choices=["cpu_time", "real_time"])

@@ -15,6 +15,17 @@
  *                                   Linalg->Affine->Reassign->Systolic
  *                                   pass pipeline (Section VI-D), then
  *                                   simulated on the event-queue engine
+ *   soc_dual_shared_bus             two WS tiles contending for one
+ *                                   bus + DMA + shared SRAM
+ *   soc_pipeline_buffered           layer pipeline chained through
+ *                                   on-chip buffers, in/out DMAs
+ *   soc_hetero_starved              WS+OS mix behind a narrow Window
+ *                                   bus with few SRAM banks
+ *
+ * --update-goldens first runs every selected scenario on all three
+ * execution backends (interp, compiled, compiled+fused) and refuses to
+ * write anything if they disagree, so a regressed backend can never
+ * become the recorded truth.
  *
  * Usage:
  *   golden_runner                          check every scenario
@@ -41,6 +52,7 @@
 #include "passes/pipeline.hh"
 #include "scalesim/scalesim.hh"
 #include "sim/engine.hh"
+#include "soc/soc.hh"
 #include "systolic/generator.hh"
 
 #ifndef EQSIM_GOLDEN_DIR
@@ -188,6 +200,35 @@ runSystolicPipeline(sim::Simulator &s, const scalesim::Config &cfg,
     return s.simulate(module.get());
 }
 
+sim::SimReport
+runSoc(sim::Simulator &s, const soc::SocConfig &cfg, std::string *err)
+{
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = soc::buildSocModule(ctx, cfg);
+    std::string v = module->verify();
+    if (!v.empty()) {
+        *err = "SoC module failed verification: " + v;
+        return {};
+    }
+    return s.simulate(module.get());
+}
+
+sim::SimReport
+runSocPipeline(sim::Simulator &s, const soc::PipelineConfig &cfg,
+               std::string *err)
+{
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = soc::buildPipelineModule(ctx, cfg);
+    std::string v = module->verify();
+    if (!v.empty()) {
+        *err = "pipeline module failed verification: " + v;
+        return {};
+    }
+    return s.simulate(module.get());
+}
+
 scalesim::Config
 convConfig(int array, scalesim::Dataflow df)
 {
@@ -236,6 +277,24 @@ allScenarios()
                          return runSystolicPipeline(s, cfg, err);
                      }});
     }
+    v.push_back({"soc_dual_shared_bus",
+                 "two WS systolic tiles behind one shared bus/DMA",
+                 [](sim::Simulator &s, std::string *err) {
+                     return runSoc(s, soc::SocConfig::dualSharedBus(),
+                                   err);
+                 }});
+    v.push_back({"soc_pipeline_buffered",
+                 "layer pipeline chained through on-chip buffers",
+                 [](sim::Simulator &s, std::string *err) {
+                     return runSocPipeline(
+                         s, soc::PipelineConfig::small(), err);
+                 }});
+    v.push_back({"soc_hetero_starved",
+                 "WS+OS mix behind a narrow Window bus, 2 SRAM banks",
+                 [](sim::Simulator &s, std::string *err) {
+                     return runSoc(s, soc::SocConfig::heteroStarved(),
+                                   err);
+                 }});
     return v;
 }
 
@@ -282,9 +341,82 @@ printDiff(const std::string &expect, const std::string &actual)
     }
 }
 
+/** Render a scenario's golden text under one explicit backend mode. */
+bool
+renderForMode(const Scenario &sc, sim::Backend backend, sim::Fusion fuse,
+              std::string *text, std::string *err)
+{
+    sim::EngineOptions opts;
+    opts.enableTrace = true;
+    opts.backend = backend;
+    opts.fuse = fuse;
+    sim::Simulator s(opts);
+    sim::SimReport rep = sc.run(s, err);
+    if (!err->empty())
+        return false;
+    *text = renderGolden(sc.name, rep, s.trace());
+    return true;
+}
+
+/**
+ * Rewrite a golden, but only after the full backend matrix agrees: a
+ * regressed backend must fail loudly here rather than silently become
+ * the recorded truth.
+ */
+int
+updateScenario(const Scenario &sc, const std::string &path)
+{
+    struct ModeSpec {
+        const char *label;
+        sim::Backend backend;
+        sim::Fusion fuse;
+    };
+    const ModeSpec modes[] = {
+        {"interp", sim::Backend::Interp, sim::Fusion::Off},
+        {"compiled", sim::Backend::Compiled, sim::Fusion::Off},
+        {"compiled+fused", sim::Backend::Compiled, sim::Fusion::On},
+    };
+    std::string texts[3];
+    for (int i = 0; i < 3; ++i) {
+        std::string err;
+        if (!renderForMode(sc, modes[i].backend, modes[i].fuse, &texts[i],
+                           &err)) {
+            std::fprintf(stderr,
+                         "[%s] FAILED to produce a report (%s): %s\n",
+                         sc.name.c_str(), modes[i].label, err.c_str());
+            return 1;
+        }
+    }
+    for (int i = 1; i < 3; ++i) {
+        if (texts[i] == texts[0])
+            continue;
+        std::fprintf(stderr,
+                     "[%s] REFUSING to update: %s disagrees with %s\n"
+                     "  fix the backend divergence first "
+                     "(tests/sim/test_backend_equiv.cc)\n",
+                     sc.name.c_str(), modes[i].label, modes[0].label);
+        printDiff(texts[0], texts[i]);
+        return 1;
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "[%s] cannot write %s\n", sc.name.c_str(),
+                     path.c_str());
+        return 1;
+    }
+    out << texts[0];
+    std::printf("[%s] golden updated, 3-backend matrix agreed (%s)\n",
+                sc.name.c_str(), path.c_str());
+    return 0;
+}
+
 int
 runScenario(const Scenario &sc, bool update)
 {
+    const std::string path = goldenPath(sc.name);
+    if (update)
+        return updateScenario(sc, path);
+
     sim::EngineOptions opts;
     opts.enableTrace = true;
     sim::Simulator s(opts);
@@ -296,20 +428,6 @@ runScenario(const Scenario &sc, bool update)
         return 1;
     }
     std::string actual = renderGolden(sc.name, rep, s.trace());
-
-    const std::string path = goldenPath(sc.name);
-    if (update) {
-        std::ofstream out(path, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            std::fprintf(stderr, "[%s] cannot write %s\n", sc.name.c_str(),
-                         path.c_str());
-            return 1;
-        }
-        out << actual;
-        std::printf("[%s] golden updated (%s)\n", sc.name.c_str(),
-                    path.c_str());
-        return 0;
-    }
 
     std::string expect;
     if (!readFile(path, &expect)) {

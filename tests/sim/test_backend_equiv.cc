@@ -28,6 +28,7 @@
 #include "passes/pipeline.hh"
 #include "scalesim/scalesim.hh"
 #include "sim/engine.hh"
+#include "soc/soc.hh"
 #include "systolic/generator.hh"
 
 namespace {
@@ -184,6 +185,40 @@ runSystolic(Mode mode, int array, scalesim::Dataflow df)
     return out;
 }
 
+RunOutcome
+runSoc(Mode mode, const soc::SocConfig &cfg)
+{
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = soc::buildSocModule(ctx, cfg);
+    sim::EngineOptions opts;
+    opts.enableTrace = true;
+    opts.backend = mode.backend;
+    opts.fuse = mode.fuse;
+    sim::Simulator s(opts);
+    RunOutcome out;
+    out.report = s.simulate(module.get());
+    out.trace = renderTrace(s.trace());
+    return out;
+}
+
+RunOutcome
+runSocPipeline(Mode mode, const soc::PipelineConfig &cfg)
+{
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = soc::buildPipelineModule(ctx, cfg);
+    sim::EngineOptions opts;
+    opts.enableTrace = true;
+    opts.backend = mode.backend;
+    opts.fuse = mode.fuse;
+    sim::Simulator s(opts);
+    RunOutcome out;
+    out.report = s.simulate(module.get());
+    out.trace = renderTrace(s.trace());
+    return out;
+}
+
 TEST(BackendEquivTest, FirAieCase3)
 {
     expectMatrix(runFir(kInterp, aie::FirConfig::case3()),
@@ -229,6 +264,29 @@ TEST(BackendEquivTest, Systolic8x8Os)
     expectMatrix(runSystolic(kInterp, 8, scalesim::Dataflow::OS),
                  runSystolic(kCompiled, 8, scalesim::Dataflow::OS),
                  runSystolic(kFused, 8, scalesim::Dataflow::OS),
+                 /*expect_fusion_win=*/true);
+}
+
+/** Shared-bus SoC: the PE bodies mix fusable register traffic with
+ *  connection-carrying boundary reads/writes the fuser must skip —
+ *  contention arbitration has to land identically on every backend. */
+TEST(BackendEquivTest, SocSharedBusContention)
+{
+    soc::SocConfig cfg = soc::SocConfig::heteroStarved();
+    expectMatrix(runSoc(kInterp, cfg), runSoc(kCompiled, cfg),
+                 runSoc(kFused, cfg),
+                 /*expect_fusion_win=*/true);
+}
+
+/** Buffered layer pipeline: overlapping items queue on stage
+ *  processors and DMA FIFOs; hop writes ride bandwidth-limited
+ *  connections. */
+TEST(BackendEquivTest, SocPipelineBuffered)
+{
+    soc::PipelineConfig cfg = soc::PipelineConfig::small();
+    expectMatrix(runSocPipeline(kInterp, cfg),
+                 runSocPipeline(kCompiled, cfg),
+                 runSocPipeline(kFused, cfg),
                  /*expect_fusion_win=*/true);
 }
 

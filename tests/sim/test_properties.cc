@@ -9,6 +9,7 @@
 
 #include "aie/fir.hh"
 #include "sim/engine.hh"
+#include "soc/soc.hh"
 #include "systolic/generator.hh"
 
 namespace {
@@ -105,6 +106,137 @@ TEST_P(FirPropertySweep, StreamsConserveSamples)
 
 INSTANTIATE_TEST_SUITE_P(Cores, FirPropertySweep,
                          ::testing::Values(1, 2, 4, 8, 16));
+
+/** SoC scenarios swept over the shipped families plus contention
+ *  variants: exact shared-bus byte conservation, per-array utilization
+ *  bounds under contention, and arbitration determinism across both
+ *  repeated fresh runs and BatchSession reuse. */
+class SocPropertySweep : public ::testing::TestWithParam<int> {
+  protected:
+    static soc::SocConfig
+    config(int variant)
+    {
+        switch (variant) {
+        case 0:
+            return soc::SocConfig::dualSharedBus();
+        case 1:
+            return soc::SocConfig::heteroStarved();
+        case 2: { // bus squeezed to a single byte per cycle
+            soc::SocConfig cfg = soc::SocConfig::dualSharedBus();
+            cfg.busBytesPerCycle = 1;
+            return cfg;
+        }
+        default: { // three tiles racing one DMA engine
+            soc::SocConfig cfg = soc::SocConfig::dualSharedBus();
+            cfg.accels.push_back(
+                soc::TileSpec{2, 2, scalesim::Dataflow::OS, 4});
+            return cfg;
+        }
+        }
+    }
+};
+
+TEST_P(SocPropertySweep, SharedBusConservesBytes)
+{
+    soc::SocConfig cfg = config(GetParam());
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = soc::buildSocModule(ctx, cfg);
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+
+    auto want = soc::expectedSocTraffic(cfg);
+    ASSERT_EQ(rep.connections.size(), 1 + cfg.accels.size());
+    EXPECT_EQ(rep.connections[0].readBytes, want.busReadBytes);
+    EXPECT_EQ(rep.connections[0].writeBytes, want.busWriteBytes);
+    for (size_t a = 0; a < cfg.accels.size(); ++a) {
+        EXPECT_EQ(rep.connections[1 + a].readBytes,
+                  want.linkReadBytes[a])
+            << "accel " << a;
+        EXPECT_EQ(rep.connections[1 + a].writeBytes,
+                  want.linkWriteBytes[a])
+            << "accel " << a;
+    }
+    // Everything the staging memcpys push across the bus lands in the
+    // per-tile L1s (element-aligned, no bytes invented or lost).
+    int64_t l1_written = 0;
+    for (const auto &m : rep.memories)
+        if (m.name.find("_L1") != std::string::npos)
+            l1_written += m.bytesWritten;
+    int64_t staged = 0;
+    for (const auto &t : cfg.accels)
+        staged += int64_t(cfg.rounds) * t.ah * t.aw * cfg.elemBytes;
+    EXPECT_EQ(l1_written, staged);
+}
+
+TEST_P(SocPropertySweep, UtilizationBoundedUnderContention)
+{
+    soc::SocConfig cfg = config(GetParam());
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = soc::buildSocModule(ctx, cfg);
+    sim::Simulator s;
+    auto rep = s.simulate(module.get());
+
+    uint64_t mac_busy = 0;
+    int64_t pes = 0;
+    for (const auto &p : rep.processors) {
+        EXPECT_GE(p.utilization, 0.0) << p.name;
+        EXPECT_LE(p.utilization, 1.0 + 1e-9) << p.name;
+        if (p.kind == "MAC") {
+            mac_busy += p.busyCycles;
+            ++pes;
+        }
+    }
+    // Aggregate MAC occupancy can never exceed PEs x wall-clock.
+    EXPECT_LE(mac_busy, uint64_t(pes) * rep.cycles);
+}
+
+TEST_P(SocPropertySweep, ArbitrationDeterministicAcrossRunsAndSessions)
+{
+    soc::SocConfig cfg = config(GetParam());
+    auto fresh = [&] {
+        ir::Context ctx;
+        ir::registerAllDialects(ctx);
+        auto module = soc::buildSocModule(ctx, cfg);
+        sim::Simulator s;
+        return s.simulate(module.get());
+    };
+    auto r1 = fresh();
+    auto r2 = fresh();
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.eventsExecuted, r2.eventsExecuted);
+    EXPECT_EQ(r1.opsExecuted, r2.opsExecuted);
+
+    // BatchSession reuse must replay the same arbitration decisions:
+    // identical cycles, traffic, and per-processor busy time on every
+    // rerun of the pinned module.
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = soc::buildSocModule(ctx, cfg);
+    sim::Simulator s;
+    sim::BatchSession session(s, module.get());
+    for (int run = 0; run < 3; ++run) {
+        auto rep = session.run();
+        EXPECT_EQ(rep.cycles, r1.cycles) << "run " << run;
+        ASSERT_EQ(rep.connections.size(), r1.connections.size());
+        for (size_t i = 0; i < rep.connections.size(); ++i) {
+            EXPECT_EQ(rep.connections[i].readBytes,
+                      r1.connections[i].readBytes);
+            EXPECT_EQ(rep.connections[i].writeBytes,
+                      r1.connections[i].writeBytes);
+        }
+        ASSERT_EQ(rep.processors.size(), r1.processors.size());
+        for (size_t i = 0; i < rep.processors.size(); ++i)
+            EXPECT_EQ(rep.processors[i].busyCycles,
+                      r1.processors[i].busyCycles)
+                << rep.processors[i].name;
+    }
+    EXPECT_EQ(session.runsCompleted(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, SocPropertySweep,
+                         ::testing::Values(0, 1, 2, 3));
 
 TEST(FirMonotonicity, MoreBandwidthNeverSlows)
 {
