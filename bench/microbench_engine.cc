@@ -345,6 +345,71 @@ BM_EventDispatch(benchmark::State &state)
 }
 BENCHMARK(BM_EventDispatch)->Arg(100)->Arg(1000);
 
+void
+BM_LaunchIssue(benchmark::State &state)
+{
+    // Launch-dense microkernel: N chained 1-op launches on one
+    // processor, module built ONCE and pinned in a BatchSession so
+    // every iteration measures pure issue-side machinery — launch
+    // enqueue, env acquisition (the pool's hottest path), the
+    // same-time FIFO, and completion wakeups — with no IR-construction
+    // noise (BM_EventDispatch rebuilds the module per iteration and
+    // measures cold per-event cost instead).
+    const int n = static_cast<int>(state.range(0));
+    ir::Context ctx;
+    ir::registerAllDialects(ctx);
+    auto module = ir::createModule(ctx);
+    ir::OpBuilder b(ctx);
+    b.setInsertionPointToEnd(&module->region(0).front());
+    auto proc = b.create<equeue::CreateProcOp>(std::string("ARMr5"));
+    auto start = b.create<equeue::ControlStartOp>();
+    ir::Value dep = start->result(0);
+    for (int i = 0; i < n; ++i) {
+        auto launch = b.create<equeue::LaunchOp>(
+            std::vector<ir::Value>{dep}, proc->result(0),
+            std::vector<ir::Value>{}, std::vector<ir::Type>{});
+        {
+            ir::OpBuilder::InsertionGuard g(b);
+            equeue::LaunchOp l(launch.op());
+            b.setInsertionPointToEnd(&l.body());
+            auto c =
+                b.create<arith::ConstantOp>(int64_t{1}, ctx.i32Type());
+            b.create<arith::AddIOp>(c->result(0), c->result(0));
+            b.create<equeue::ReturnOp>(std::vector<ir::Value>{});
+        }
+        dep = launch->result(0);
+    }
+    b.create<equeue::AwaitOp>(std::vector<ir::Value>{dep});
+
+    sim::Simulator s;
+    sim::BatchSession session(s, module.get());
+    for (auto _ : state) {
+        auto rep = session.run();
+        benchmark::DoNotOptimize(rep.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LaunchIssue)->Arg(256)->Arg(1024);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The stock library_build_type context key records how the
+    // benchmark *library* was compiled (distro packages ship debug
+    // builds), not how this binary was. Stamp the binary's own build
+    // mode so scripts/check_bench_trend.py can refuse to gate on
+    // unoptimized timings.
+#ifdef NDEBUG
+    benchmark::AddCustomContext("eqsim_build_type", "release");
+#else
+    benchmark::AddCustomContext("eqsim_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -16,6 +16,14 @@ BM_SimulateSystolic, BM_EventDispatch, BM_CompiledVsInterp,
 BM_FusedVsCompiled, and BM_SoCContention). Untracked benchmarks are
 reported informationally. Stdlib only.
 
+Build-type guard: timings from a debug build are meaningless to gate
+on (and a debug baseline would make every release run look like a
+huge win), so when either file was recorded from a non-release build
+the gate loudly warns and skips the comparison. The binary's own
+eqsim_build_type context stamp is authoritative; library_build_type
+(which records how the *benchmark library* was compiled, typically
+"debug" for distro packages) is only a fallback for old files.
+
 First-run friendliness: a missing/unreadable/invalid baseline file
 exits 0 with a clear "no baseline yet" message (new branches and
 expired artifacts must not fail CI), and benchmarks absent from the
@@ -32,6 +40,7 @@ import sys
 
 
 def load_benchmarks(path, metric):
+    """Return (rows-by-name, library_build_type) for one JSON file."""
     with open(path) as f:
         data = json.load(f)
     out = {}
@@ -43,7 +52,13 @@ def load_benchmarks(path, metric):
         if "name" not in b or metric not in b:
             continue
         out[b["name"]] = b
-    return out
+    # Prefer the binary's own stamp (microbench_engine's
+    # eqsim_build_type custom context); library_build_type describes
+    # the installed benchmark library and is only a fallback.
+    ctxt = data.get("context", {})
+    build_type = ctxt.get("eqsim_build_type",
+                          ctxt.get("library_build_type"))
+    return out, build_type
 
 
 def main():
@@ -65,14 +80,14 @@ def main():
     # branch simply has nothing to compare against yet (first run on a
     # branch, expired CI artifact, truncated download).
     try:
-        base = load_benchmarks(args.baseline, args.metric)
+        base, base_build = load_benchmarks(args.baseline, args.metric)
     except (OSError, ValueError) as e:
         print(f"no baseline yet ({args.baseline}: {e}); "
               f"nothing to compare against -- skipping trend check")
         return 0
 
     try:
-        curr = load_benchmarks(args.current, args.metric)
+        curr, curr_build = load_benchmarks(args.current, args.metric)
     except (OSError, ValueError) as e:
         # The current results come from this very run; not having them
         # is a real CI failure, reported readably instead of a
@@ -84,6 +99,23 @@ def main():
     if not base:
         print(f"baseline {args.baseline} contains no benchmark rows; "
               f"nothing to compare against -- skipping trend check")
+        return 0
+
+    # Gate only release-vs-release: debug timings are dominated by
+    # unoptimized library code and assertion overhead, so any delta
+    # against (or from) them is noise. Warn loudly rather than fail --
+    # a developer running this locally against a debug build should see
+    # why nothing was gated, not a red build.
+    wrong = [(label, bt)
+             for label, bt in [("baseline", base_build),
+                               ("current", curr_build)]
+             if bt != "release"]
+    if wrong:
+        for label, bt in wrong:
+            print(f"WARNING: {label} results were recorded from a "
+                  f"{bt!r} build (need 'release')", file=sys.stderr)
+        print("WARNING: refusing to gate on non-release timings -- "
+              "skipping trend check", file=sys.stderr)
         return 0
 
     failures = []

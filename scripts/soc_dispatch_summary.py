@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Emit a markdown table of fused-vs-unfused SoC dispatch counts.
+
+Reads two google-benchmark JSON outputs of the BM_SoCContention legs —
+one recorded with EQ_SIM_FUSE=0, one with EQ_SIM_FUSE=1, both on the
+compiled backend — and prints a GitHub-flavored markdown table of the
+per-leg dispatchCount delta, for the CI job summary. Cycles and ops
+must be identical between the legs (fusion may only change how many
+dispatches execute the same work); a mismatch exits nonzero, because
+it means the fused backend diverged behaviourally.
+
+Usage:
+    soc_dispatch_summary.py UNFUSED.json FUSED.json
+"""
+
+import json
+import sys
+
+
+def load_counters(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" or "name" not in b:
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    unfused = load_counters(sys.argv[1])
+    fused = load_counters(sys.argv[2])
+
+    names = sorted(set(unfused) & set(fused))
+    if not names:
+        print("error: no common benchmark rows between the two files",
+              file=sys.stderr)
+        return 2
+
+    print("### SoC shared-bus dispatch counts (compiled backend)\n")
+    print("| benchmark | cycles | ops | unfused dispatches "
+          "| fused dispatches | reduction |")
+    print("|---|---|---|---|---|---|")
+    divergent = []
+    for name in names:
+        u, f = unfused[name], fused[name]
+        if (u.get("cycles") != f.get("cycles")
+                or u.get("ops") != f.get("ops")):
+            divergent.append(name)
+        ud, fd = u.get("dispatches", 0), f.get("dispatches", 0)
+        ratio = f"{ud / fd:.2f}x" if fd else "-"
+        print(f"| {name} | {u.get('cycles', 0):.0f} "
+              f"| {u.get('ops', 0):.0f} | {ud:.0f} | {fd:.0f} "
+              f"| {ratio} |")
+
+    if divergent:
+        print(f"\nerror: cycles/ops differ between fused and unfused "
+              f"legs for: {', '.join(divergent)} -- fusion changed "
+              f"observable behaviour", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,7 +54,7 @@ CompiledExec::chargeAfter(const MicroOp &m, Cycles &now, Cycles start,
         // that case nothing can interleave, so advance the clock in
         // place and keep executing. Relative ordering of all other
         // heap items is untouched, so traces stay byte-identical.
-        if (_eng.heap.empty() || _eng.heap.front().t > end) {
+        if (_eng.nothingPendingBefore(end)) {
             _eng.now = end;
             now = end;
             return false;
@@ -72,9 +72,12 @@ CompiledExec::finish(Cycles t)
         return;
     _finished = true;
     _eng.noteActivity(t);
-    if (!_event)
-        return; // module top level
-    _eng.finishLaunch(_event, _proc, t);
+    if (_event)
+        _eng.finishLaunch(_event, _proc, t);
+    // The exec object lives in Impl::execs until the next reset, but
+    // its environment is dead here — release it so the pool can hand
+    // it to the next launch.
+    _env.reset();
 }
 
 void
@@ -363,7 +366,7 @@ CompiledExec::resume(Cycles t)
                 // Same fast path as chargeAfter: re-execute this
                 // record at `ready` in place when nothing can
                 // interleave before it.
-                if (_eng.heap.empty() || _eng.heap.front().t > ready) {
+                if (_eng.nothingPendingBefore(ready)) {
                     _eng.now = ready;
                     now = ready;
                     continue;
@@ -472,14 +475,42 @@ CompiledExec::resume(Cycles t)
             continue;
         }
         case MOp::Await: {
-            std::vector<EventId> ids;
             if (m.nargs == 0) {
-                ids = _spawned;
-            } else {
-                ids.reserve(m.nargs);
-                for (unsigned i = 0; i < m.nargs; ++i)
-                    ids.push_back(arg(m, i).asEvent());
+                // Await-all fast path (see BlockExec::execAwait):
+                // done events are timing-irrelevant (doneTime <= now),
+                // so compact the spawned list to the pending tail and
+                // subscribe to exactly those in one pass.
+                size_t w = 0;
+                for (EventId id : _spawned)
+                    if (!_eng.event(id)->done)
+                        _spawned[w++] = id;
+                _spawned.resize(w);
+                ++_pc;
+                if (w == 0)
+                    continue;
+                if (w == 1) {
+                    _eng.event(_spawned[0])->onDone.push_back(
+                        [this, now](Cycles dt) {
+                            resume(std::max(now, dt));
+                        });
+                    return;
+                }
+                auto state =
+                    std::make_shared<std::pair<size_t, Cycles>>(w, 0);
+                for (EventId id : _spawned)
+                    _eng.event(id)->onDone.push_back(
+                        [this, now, state](Cycles dt) {
+                            state->second =
+                                std::max(state->second, dt);
+                            if (--state->first == 0)
+                                resume(std::max(now, state->second));
+                        });
+                return;
             }
+            std::vector<EventId> ids;
+            ids.reserve(m.nargs);
+            for (unsigned i = 0; i < m.nargs; ++i)
+                ids.push_back(arg(m, i).asEvent());
             bool all_done = true;
             Cycles max_t = now;
             for (EventId id : ids) {
@@ -623,7 +654,7 @@ CompiledExec::chargeFused(const FusedElem &e, Cycles &now, Cycles start,
         // suspension saves the element position so resume re-enters
         // the group exactly where the unfused stream would have
         // resumed its next record.
-        if (_eng.heap.empty() || _eng.heap.front().t > end) {
+        if (_eng.nothingPendingBefore(end)) {
             _eng.now = end;
             now = end;
             return false;
@@ -786,9 +817,11 @@ CompiledExec::execFused(const MicroOp &m, Cycles &now)
         }
 
         case MOp::Read: {
-            // Connection-carrying reads are never fused.
             BufferObj *buf = argOf(e, 0).asBuffer();
-            const unsigned nidx = e.nargs - 1;
+            Connection *conn =
+                e.hasConn() ? argOf(e, 1).asConnection() : nullptr;
+            const unsigned idx0 = e.hasConn() ? 2 : 1;
+            const unsigned nidx = e.nargs - idx0;
             int64_t bytes;
             int64_t words;
             if (nidx == 0) {
@@ -809,7 +842,7 @@ CompiledExec::execFused(const MicroOp &m, Cycles &now)
                 }
             } else {
                 int64_t idxbuf[kMaxRank];
-                const int64_t *idx = indices(e, 1, idxbuf);
+                const int64_t *idx = indices(e, idx0, idxbuf);
                 bytes = (buf->data->elemBits + 7) / 8;
                 words = 1;
                 bindLocal(
@@ -819,7 +852,7 @@ CompiledExec::execFused(const MicroOp &m, Cycles &now)
                             ->data[buf->data->offset(idx, nidx)]));
             }
             Cycles start = _eng.bufferAccessStart(
-                buf, nullptr, /*is_write=*/false, words, bytes, now);
+                buf, conn, /*is_write=*/false, words, bytes, now);
             if (chargeFused(e, now, start, costOf(e), k))
                 return true;
             continue;
@@ -827,7 +860,10 @@ CompiledExec::execFused(const MicroOp &m, Cycles &now)
         case MOp::Write: {
             const SimValue &val = argOf(e, 0);
             BufferObj *buf = argOf(e, 1).asBuffer();
-            const unsigned nidx = e.nargs - 2;
+            Connection *conn =
+                e.hasConn() ? argOf(e, 2).asConnection() : nullptr;
+            const unsigned idx0 = e.hasConn() ? 3 : 2;
+            const unsigned nidx = e.nargs - idx0;
             int64_t bytes;
             if (nidx == 0 && val.isTensor()) {
                 auto src = val.asTensor();
@@ -838,7 +874,7 @@ CompiledExec::execFused(const MicroOp &m, Cycles &now)
                 bytes = nn * ((buf->data->elemBits + 7) / 8);
             } else if (nidx > 0) {
                 int64_t idxbuf[kMaxRank];
-                const int64_t *idx = indices(e, 2, idxbuf);
+                const int64_t *idx = indices(e, idx0, idxbuf);
                 buf->data->data[buf->data->offset(idx, nidx)] =
                     val.asInt();
                 bytes = (buf->data->elemBits + 7) / 8;
@@ -851,7 +887,7 @@ CompiledExec::execFused(const MicroOp &m, Cycles &now)
                                 ? val.asTensor()->numElements()
                                 : 1;
             Cycles start = _eng.bufferAccessStart(
-                buf, nullptr, /*is_write=*/true, words, bytes, now);
+                buf, conn, /*is_write=*/true, words, bytes, now);
             if (chargeFused(e, now, start, costOf(e), k))
                 return true;
             continue;
@@ -870,7 +906,7 @@ CompiledExec::execFused(const MicroOp &m, Cycles &now)
                 return true;
             }
             if (ready > now) {
-                if (_eng.heap.empty() || _eng.heap.front().t > ready) {
+                if (_eng.nothingPendingBefore(ready)) {
                     _eng.now = ready;
                     now = ready;
                     --k; // re-execute this element at `ready`
@@ -1004,14 +1040,42 @@ CompiledExec::execFused(const MicroOp &m, Cycles &now)
             continue;
         }
         case MOp::Await: {
-            std::vector<EventId> ids;
             if (e.nargs == 0) {
-                ids = _spawned;
-            } else {
-                ids.reserve(e.nargs);
-                for (unsigned i = 0; i < e.nargs; ++i)
-                    ids.push_back(argOf(e, i).asEvent());
+                // Await-all fast path (see BlockExec::execAwait):
+                // done events are timing-irrelevant (doneTime <= now),
+                // so compact the spawned list to the pending tail and
+                // subscribe to exactly those in one pass.
+                size_t w = 0;
+                for (EventId id : _spawned)
+                    if (!_eng.event(id)->done)
+                        _spawned[w++] = id;
+                _spawned.resize(w);
+                if (w == 0)
+                    continue;
+                _subPc = k + 2; // 1-based: resume at element k + 1
+                if (w == 1) {
+                    _eng.event(_spawned[0])->onDone.push_back(
+                        [this, now](Cycles dt) {
+                            resume(std::max(now, dt));
+                        });
+                    return true;
+                }
+                auto state =
+                    std::make_shared<std::pair<size_t, Cycles>>(w, 0);
+                for (EventId id : _spawned)
+                    _eng.event(id)->onDone.push_back(
+                        [this, now, state](Cycles dt) {
+                            state->second =
+                                std::max(state->second, dt);
+                            if (--state->first == 0)
+                                resume(std::max(now, state->second));
+                        });
+                return true;
             }
+            std::vector<EventId> ids;
+            ids.reserve(e.nargs);
+            for (unsigned i = 0; i < e.nargs; ++i)
+                ids.push_back(argOf(e, i).asEvent());
             bool all_done = true;
             Cycles max_t = now;
             for (EventId id : ids) {

@@ -274,6 +274,16 @@ class Connection : public Component {
     Cycles
     acquireChannel(bool is_read, Cycles now, Cycles cycles)
     {
+        // Zero-occupancy watermark short-circuit (the Connection twin
+        // of Device::acquire's _maxNextFree fast path): a zero-cost
+        // reservation on a wholly idle link starts at `now` and leaves
+        // both channel watermarks untouched — the skipped stores would
+        // only write values <= now, indistinguishable forever after
+        // because engine time never moves backwards. Checking both
+        // directions keeps Window exclusivity exact: any busy channel
+        // falls through to the full accounting below.
+        if (cycles == 0 && _readFree <= now && _writeFree <= now)
+            return now;
         Cycles &free = (isWindow() || is_read) ? _readFree : _writeFree;
         Cycles start = std::max(now, free);
         free = start + cycles;

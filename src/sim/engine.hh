@@ -107,6 +107,11 @@ class Simulator {
      *  Fusion::Auto). Only affects the compiled backend. */
     bool fusionEnabled() const;
 
+    /** The resolved launch-env pooling switch (EQ_SIM_ENV_POOL,
+     *  default on). Pure allocation optimization — identical reports
+     *  and traces either way; the seam exists for bisection. */
+    bool envPoolEnabled() const;
+
     /**
      * Lower every region of @p module to micro-op streams now, from
      * scratch (drops all cached numbering and programs first, so

@@ -265,6 +265,31 @@ struct Simulator::Impl {
     OpFunctionRegistry opFns;
     ComponentFactory factory;
 
+    // --- environment pool ---------------------------------------------
+    /** Resolved EQ_SIM_ENV_POOL escape hatch (default: on). */
+    bool envPool = true;
+    /** Recycled interpretation environments, free-listed by slot count
+     *  so a reacquired env's slot vector needs no reallocation. Every
+     *  launch issue draws from here instead of allocating (the hottest
+     *  allocation site in launch-dense workloads); envs return via
+     *  their shared_ptr deleter as soon as the last reference drops —
+     *  typically when the launch completes, not at end of run. The
+     *  pool deliberately survives reset() so batched re-runs of a
+     *  pinned module reach steady state with zero env allocation.
+     *  Declared before the per-run state below: member destruction
+     *  runs in reverse order, so env deleters fired while events/execs
+     *  tear down always find the pool alive (pooled envs hold no
+     *  parent refs, so draining the pool itself never re-enters it). */
+    std::unordered_map<uint32_t, std::vector<std::unique_ptr<Env>>>
+        envFreeList;
+    /** Pooled replacement for make_shared<Env>: an env of @p num_slots
+     *  cleared slots, chained onto @p parent, returned to the free
+     *  list when released. */
+    EnvPtr acquireEnv(uint32_t scope_id, uint32_t num_slots,
+                      EnvPtr parent);
+    /** Deleter target of pooled envs (interp.cc). */
+    void recycleEnv(Env *e);
+
     // --- per-run dispatch state ---------------------------------------
     /** Handler table indexed by OpId::raw(); null = uninterpretable. */
     std::vector<BlockExec::Handler> handlers;
@@ -361,6 +386,16 @@ struct Simulator::Impl {
         }
     };
     std::vector<HeapItem> heap;
+    /** Same-time FIFO: work scheduled for the current cycle. Launch
+     *  issue, launch completion re-issue, and stream notification all
+     *  schedule at `now`, so the common launch-issue round-trip was a
+     *  heap push + pop at an unchanged time; routing those items here
+     *  makes them O(1) deque traffic instead. Items are appended with
+     *  t == now and `now` is monotone, so the deque is always sorted
+     *  by (t, seq) and runHeap() can merge it against the heap by the
+     *  exact same ordering — the total execution order (and therefore
+     *  every trace byte) is identical to the single-heap schedule. */
+    std::deque<HeapItem> nowQ;
     uint64_t seqCounter = 0;
     Cycles now = 0;
     Cycles endTime = 0;
@@ -386,8 +421,21 @@ struct Simulator::Impl {
     void
     scheduleAt(Cycles t, SchedFn fn)
     {
+        if (t == now) {
+            nowQ.push_back({t, seqCounter++, std::move(fn)});
+            return;
+        }
         heap.push_back({t, seqCounter++, std::move(fn)});
         std::push_heap(heap.begin(), heap.end(), HeapAfter{});
+    }
+
+    /** True when no scheduled work exists at or before @p end: the
+     *  gate for every time-advance fast path. A non-empty nowQ always
+     *  blocks (its items fire at a time <= now <= end). */
+    bool
+    nothingPendingBefore(Cycles end) const
+    {
+        return nowQ.empty() && (heap.empty() || heap.front().t > end);
     }
 
     void
@@ -568,7 +616,7 @@ BlockExec::advanceAfter(ir::Operation *op, Cycles &now, Cycles start,
     _eng.noteActivity(end);
     ++_frames.back().it;
     if (end > now) {
-        if (_eng.heap.empty() || _eng.heap.front().t > end) {
+        if (_eng.nothingPendingBefore(end)) {
             _eng.now = end;
             now = end;
             return Step::Continue;

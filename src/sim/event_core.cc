@@ -24,6 +24,7 @@ Simulator::Impl::reset(bool keep_numbering)
     execs.clear();
     streamWaiters.clear();
     heap.clear();
+    nowQ.clear();
     seqCounter = 0;
     now = 0;
     endTime = 0;
@@ -72,6 +73,12 @@ Simulator::Impl::completeEvent(Event *ev, Cycles t)
     ev->onDone.clear();
     for (auto &cb : callbacks)
         cb(t);
+    // The creator environment is only needed up to completion (issue
+    // reads captures from it, finishLaunch publishes results into it,
+    // both before this point); dropping the reference now lets pooled
+    // envs recycle as soon as their launches retire instead of
+    // lingering until the end of the run.
+    ev->creatorEnv.reset();
 }
 
 void
@@ -211,10 +218,8 @@ Simulator::Impl::issueLaunch(Event *ev, Cycles t)
         // are slot-to-slot copies.
         const CompiledBlock &prog =
             ev->bodyProg ? *ev->bodyProg : execProgramFor(&body);
-        auto env = std::make_shared<Env>();
-        env->scopeId = prog.scopeId;
-        env->slots.resize(prog.numSlots);
-        env->parent = ev->creatorEnv;
+        EnvPtr env = acquireEnv(prog.scopeId, prog.numSlots,
+                                ev->creatorEnv);
         for (const auto &cap : prog.captures) {
             Env *e = env->parent.get();
             for (uint32_t h = cap.src.hops; h; --h)
@@ -321,10 +326,31 @@ Simulator::Impl::notifyStream(StreamFifo *fifo)
 void
 Simulator::Impl::runHeap()
 {
-    while (!heap.empty()) {
-        std::pop_heap(heap.begin(), heap.end(), HeapAfter{});
-        HeapItem item = std::move(heap.back());
-        heap.pop_back();
+    // Two sorted sources, one total order: nowQ is FIFO-sorted by
+    // (t, seq) by construction (items are appended at the monotone
+    // current time with globally increasing sequence numbers), so
+    // merging against the heap by the same (t, seq) key pops every
+    // item in exactly the order the single-heap schedule would.
+    while (!heap.empty() || !nowQ.empty()) {
+        bool from_nowq;
+        if (heap.empty()) {
+            from_nowq = true;
+        } else if (nowQ.empty()) {
+            from_nowq = false;
+        } else {
+            const HeapItem &a = nowQ.front();
+            const HeapItem &b = heap.front();
+            from_nowq = std::tie(a.t, a.seq) < std::tie(b.t, b.seq);
+        }
+        HeapItem item;
+        if (from_nowq) {
+            item = std::move(nowQ.front());
+            nowQ.pop_front();
+        } else {
+            std::pop_heap(heap.begin(), heap.end(), HeapAfter{});
+            item = std::move(heap.back());
+            heap.pop_back();
+        }
         eq_assert(item.t >= now, "time went backwards in the scheduler");
         now = item.t;
         item.fn();

@@ -36,8 +36,8 @@ namespace {
 /** Records a superinstruction may absorb: every position-independent
  *  record — compute, data motion, and event ops whose semantics never
  *  read or manipulate the pc. Control flow (loops, nested modules,
- *  Halt), elaboration (structure ops run once, cold), linalg, and
- *  connection-carrying reads/writes keep their own records. Return is
+ *  Halt), elaboration (structure ops run once, cold), and linalg
+ *  keep their own records. Return is
  *  also absorbable, but only as a run terminator (handled by the run
  *  scanner, not here, since nothing may follow it in a group). */
 bool
@@ -66,9 +66,12 @@ isFusible(const MicroOp &m)
         return true;
     case MOp::Read:
     case MOp::Write:
-        // A connection shifts the operand layout and adds transfer
-        // bookkeeping; such ops never sit in PE-body hot loops.
-        return !m.hasConn();
+        // Connection-carrying variants fuse too: the fused element
+        // carries the shifted operand layout (kFlagHasConn) and the
+        // executor performs the channel acquire/transfer accounting
+        // in-group, suspending mid-group on a stall exactly like any
+        // other costed element.
+        return true;
     default:
         return false;
     }
@@ -191,9 +194,9 @@ class Fuser {
         case MOp::Store:
             return 2;
         case MOp::Read:
-            return m.hasConn() ? 0 : 1; // conn'd reads never fold
+            return m.hasConn() ? 2 : 1; // conn (if any) precedes indices
         case MOp::Write:
-            return m.hasConn() ? 0 : 2;
+            return m.hasConn() ? 3 : 2;
         default:
             return 0;
         }

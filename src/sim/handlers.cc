@@ -452,13 +452,42 @@ BlockExec::execMemcpy(ir::Operation *op, Cycles &now)
 BlockExec::Step
 BlockExec::execAwait(ir::Operation *op, Cycles &now)
 {
-    std::vector<EventId> ids;
     if (op->numOperands() == 0) {
-        ids = _spawned;
-    } else {
-        for (ir::Value v : op->operands())
-            ids.push_back(eval(v).asEvent());
+        // Await-all fast path. A completed event can never move time
+        // here: completion happens at the then-current cycle and time
+        // is monotone, so every observed doneTime is <= now and the
+        // max over done events folds to `now` itself. That makes done
+        // entries dead weight — compact the spawned list down to the
+        // still-pending events (steady-state loops that await every
+        // round stop rescanning and recopying the whole spawn history)
+        // and subscribe to exactly those in one pass.
+        size_t w = 0;
+        for (EventId id : _spawned)
+            if (!_eng.event(id)->done)
+                _spawned[w++] = id;
+        _spawned.resize(w);
+        ++_frames.back().it;
+        if (w == 0)
+            return Step::Continue;
+        if (w == 1) {
+            // Same direct subscription whenAllDone's size-1 path makes.
+            _eng.event(_spawned[0])->onDone.push_back(
+                [this, now](Cycles t) { resume(std::max(now, t)); });
+            return Step::Suspend;
+        }
+        auto state = std::make_shared<std::pair<size_t, Cycles>>(w, 0);
+        for (EventId id : _spawned)
+            _eng.event(id)->onDone.push_back(
+                [this, now, state](Cycles t) {
+                    state->second = std::max(state->second, t);
+                    if (--state->first == 0)
+                        resume(std::max(now, state->second));
+                });
+        return Step::Suspend;
     }
+    std::vector<EventId> ids;
+    for (ir::Value v : op->operands())
+        ids.push_back(eval(v).asEvent());
     bool all_done = true;
     Cycles max_t = now;
     for (EventId id : ids) {

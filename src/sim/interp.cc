@@ -75,11 +75,52 @@ EnvPtr
 Simulator::Impl::makeEnv(ir::Block *root, EnvPtr parent)
 {
     const ValueScope &vs = scopeFor(root);
-    auto env = std::make_shared<Env>();
-    env->scopeId = vs.scopeId;
-    env->slots.resize(vs.numSlots);
-    env->parent = std::move(parent);
-    return env;
+    return acquireEnv(vs.scopeId, vs.numSlots, std::move(parent));
+}
+
+EnvPtr
+Simulator::Impl::acquireEnv(uint32_t scope_id, uint32_t num_slots,
+                            EnvPtr parent)
+{
+    if (!envPool) {
+        // Escape hatch (EQ_SIM_ENV_POOL=0): the pre-pooling per-launch
+        // allocation, for bisection.
+        auto env = std::make_shared<Env>();
+        env->scopeId = scope_id;
+        env->slots.resize(num_slots);
+        env->parent = std::move(parent);
+        return env;
+    }
+    Env *raw;
+    auto it = envFreeList.find(num_slots);
+    if (it != envFreeList.end() && !it->second.empty()) {
+        raw = it->second.back().release();
+        it->second.pop_back();
+    } else {
+        raw = new Env();
+    }
+    // Free-listed by slot count, so this resize never reallocates on a
+    // recycled env (capacity == num_slots) and default-constructs the
+    // slots back to the unbound state.
+    raw->scopeId = scope_id;
+    raw->slots.resize(num_slots);
+    raw->parent = std::move(parent);
+    return EnvPtr(raw, [this](Env *e) { recycleEnv(e); });
+}
+
+void
+Simulator::Impl::recycleEnv(Env *e)
+{
+    // Drop the chain first: releasing our parent reference may recycle
+    // the parent reentrantly, and no free-list reference is held yet
+    // at that point. Pooled envs therefore never hold parent refs, so
+    // draining the free list itself can never cascade back into it.
+    e->parent.reset();
+    const auto key = static_cast<uint32_t>(e->slots.size());
+    // Keep the slot vector's capacity but release held payloads
+    // (tensors, buffers) now rather than at the next acquire.
+    e->slots.clear();
+    envFreeList[key].emplace_back(e);
 }
 
 // ---------------------------------------------------------------------------
@@ -321,9 +362,12 @@ BlockExec::finish(Cycles t)
         return;
     _finished = true;
     _eng.noteActivity(t);
-    if (!_event)
-        return; // module top level
-    _eng.finishLaunch(_event, _proc, t);
+    if (_event)
+        _eng.finishLaunch(_event, _proc, t);
+    // The exec object lives in Impl::execs until the next reset, but
+    // its environment is dead here — release it so the pool can hand
+    // it to the next launch.
+    _env.reset();
 }
 
 // ---------------------------------------------------------------------------

@@ -268,7 +268,8 @@ TEST(BackendEquivTest, Systolic8x8Os)
 }
 
 /** Shared-bus SoC: the PE bodies mix fusable register traffic with
- *  connection-carrying boundary reads/writes the fuser must skip —
+ *  connection-carrying boundary reads/writes that now fuse too (the
+ *  fused executor does the acquire/transfer accounting in-group) —
  *  contention arbitration has to land identically on every backend. */
 TEST(BackendEquivTest, SocSharedBusContention)
 {
@@ -276,6 +277,25 @@ TEST(BackendEquivTest, SocSharedBusContention)
     expectMatrix(runSoc(kInterp, cfg), runSoc(kCompiled, cfg),
                  runSoc(kFused, cfg),
                  /*expect_fusion_win=*/true);
+}
+
+/** Boundary-op fusion on the dual-tile shared-bus scenario: beyond the
+ *  usual three-way identity, assert the fused dispatch count drops far
+ *  enough that conn-carrying bus reads/writes must themselves be inside
+ *  fused groups. Interior-only fusion (MACs, address math) reaches
+ *  roughly dispatchCount ≈ opsExecuted/2.7 on this workload; with the
+ *  boundary ops fused it is ≈ opsExecuted/4. The 3x threshold sits
+ *  between the two, so it fails if conn-carrying Read/Write ever
+ *  silently drops back out of fusion. */
+TEST(BackendEquivTest, SocDualSharedBusBoundaryFusion)
+{
+    soc::SocConfig cfg = soc::SocConfig::dualSharedBus();
+    RunOutcome interp = runSoc(kInterp, cfg);
+    RunOutcome compiled = runSoc(kCompiled, cfg);
+    RunOutcome fused = runSoc(kFused, cfg);
+    expectMatrix(interp, compiled, fused, /*expect_fusion_win=*/true);
+    EXPECT_LT(fused.report.dispatchCount * 3,
+              fused.report.opsExecuted);
 }
 
 /** Buffered layer pipeline: overlapping items queue on stage
@@ -361,6 +381,39 @@ TEST(BackendEquivTest, FusionSelectionSeam)
     opts.fuse = sim::Fusion::Off;
     unsetenv("EQ_SIM_FUSE");
     EXPECT_FALSE(sim::Simulator(opts).fusionEnabled());
+}
+
+TEST(BackendEquivTest, EnvPoolSelectionSeam)
+{
+    EnvGuard guard("EQ_SIM_ENV_POOL");
+
+    // Default on.
+    unsetenv("EQ_SIM_ENV_POOL");
+    EXPECT_TRUE(sim::Simulator().envPoolEnabled());
+
+    setenv("EQ_SIM_ENV_POOL", "0", 1);
+    EXPECT_FALSE(sim::Simulator().envPoolEnabled());
+    setenv("EQ_SIM_ENV_POOL", "off", 1);
+    EXPECT_FALSE(sim::Simulator().envPoolEnabled());
+    setenv("EQ_SIM_ENV_POOL", "1", 1);
+    EXPECT_TRUE(sim::Simulator().envPoolEnabled());
+    setenv("EQ_SIM_ENV_POOL", "on", 1);
+    EXPECT_TRUE(sim::Simulator().envPoolEnabled());
+}
+
+/** Env pooling is a pure allocation optimization: with the pool
+ *  disabled the whole outcome (report and trace) must stay
+ *  line-identical on a launch-heavy scenario. */
+TEST(BackendEquivTest, EnvPoolOutcomeNeutral)
+{
+    EnvGuard guard("EQ_SIM_ENV_POOL");
+    soc::SocConfig cfg = soc::SocConfig::dualSharedBus();
+
+    setenv("EQ_SIM_ENV_POOL", "1", 1);
+    RunOutcome pooled = runSoc(kInterp, cfg);
+    setenv("EQ_SIM_ENV_POOL", "0", 1);
+    RunOutcome unpooled = runSoc(kInterp, cfg);
+    expectOutcomesIdentical(pooled, unpooled);
 }
 
 TEST(BackendEquivTest, PrecompileCountsMicroOps)
