@@ -9,19 +9,18 @@
 #ifndef EQ_BENCH_BENCH_UTIL_HH
 #define EQ_BENCH_BENCH_UTIL_HH
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "ir/builder.hh"
 #include "scalesim/scalesim.hh"
 #include "sim/engine.hh"
+#include "sim/session.hh"
 #include "soc/soc.hh"
 #include "sweep/grid.hh"
 #include "sweep/runner.hh"
@@ -46,38 +45,33 @@ struct SystolicRun {
 };
 
 /**
- * Per-worker systolic simulation state for sharded sweeps: one
- * ir::Context and one sim::Simulator live for the whole sweep
- * (dialect registration and name interning happen once per worker),
- * and the built module plus its sim::BatchSession persist until a
- * point's structural parameters change — repeated runs of an unchanged
- * point reuse the module, its value numbering, and the dispatch
- * tables. Distinct points rebuild all three: a session's first run
- * must renumber/rebuild (see BatchSession), and that setup is
- * microseconds next to simulating the point.
+ * Per-worker systolic simulation state for sharded sweeps, built on
+ * sim::Session (one Context + Simulator + pinned module/BatchSession
+ * per worker): the session is rebuilt only when a point's structural
+ * parameters change, so repeated runs of an unchanged point reuse the
+ * module, its value numbering, the dispatch tables, and any compiled
+ * programs. The config comparison stays typed (operator==), so reuse
+ * never depends on hash uniqueness.
  */
 class SystolicWorker {
   public:
-    explicit SystolicWorker(sim::EngineOptions opts = {}) : _sim(opts)
+    explicit SystolicWorker(sim::EngineOptions opts = {})
+        : _session(opts)
     {
-        ir::registerAllDialects(_ctx);
     }
 
     SystolicRun
     run(const scalesim::Config &cfg)
     {
-        using clock = std::chrono::steady_clock;
         SystolicRun out;
-        if (!_session || _cfg != cfg) {
-            auto b0 = clock::now();
-            _session.reset(); // session pins the module; drop it first
-            _module = systolic::buildSystolicModule(_ctx, cfg);
-            _session.emplace(_sim, _module.get());
+        if (!_session.ready() || _cfg != cfg) {
+            _session.rebuild([&](ir::Context &ctx) {
+                return systolic::buildSystolicModule(ctx, cfg);
+            });
             _cfg = cfg;
-            out.buildSeconds =
-                std::chrono::duration<double>(clock::now() - b0).count();
+            out.buildSeconds = _session.lastBuildSeconds();
         }
-        out.report = _session->run();
+        out.report = _session.run();
         out.simSeconds = out.report.wallSeconds;
         for (const auto &m : out.report.memories) {
             if (m.kind == "SRAM") {
@@ -92,10 +86,7 @@ class SystolicWorker {
     }
 
   private:
-    ir::Context _ctx;
-    sim::Simulator _sim;
-    ir::OwningOpRef _module;
-    std::optional<sim::BatchSession> _session;
+    sim::Session _session;
     scalesim::Config _cfg;
 };
 
@@ -132,32 +123,26 @@ struct SocRun {
 
 /**
  * Per-worker SoC simulation state for sharded sweeps: the SocWorker
- * analogue of SystolicWorker, keyed on soc::SocConfig — one Context +
- * Simulator per worker, module and BatchSession reused while the
- * point's config is value-equal to the previous one.
+ * analogue of SystolicWorker, keyed on soc::SocConfig — the same
+ * sim::Session build-cache-run path, rebuilt only when the point's
+ * config stops being value-equal to the previous one.
  */
 class SocWorker {
   public:
-    explicit SocWorker(sim::EngineOptions opts = {}) : _sim(opts)
-    {
-        ir::registerAllDialects(_ctx);
-    }
+    explicit SocWorker(sim::EngineOptions opts = {}) : _session(opts) {}
 
     SocRun
     run(const soc::SocConfig &cfg)
     {
-        using clock = std::chrono::steady_clock;
         SocRun out;
-        if (!_session || _cfg != cfg) {
-            auto b0 = clock::now();
-            _session.reset(); // session pins the module; drop it first
-            _module = soc::buildSocModule(_ctx, cfg);
-            _session.emplace(_sim, _module.get());
+        if (!_session.ready() || _cfg != cfg) {
+            _session.rebuild([&](ir::Context &ctx) {
+                return soc::buildSocModule(ctx, cfg);
+            });
             _cfg = cfg;
-            out.buildSeconds =
-                std::chrono::duration<double>(clock::now() - b0).count();
+            out.buildSeconds = _session.lastBuildSeconds();
         }
-        out.report = _session->run();
+        out.report = _session.run();
         out.simSeconds = out.report.wallSeconds;
         if (!out.report.connections.empty()) {
             // The bus is the first connection the generator creates.
@@ -171,10 +156,7 @@ class SocWorker {
     }
 
   private:
-    ir::Context _ctx;
-    sim::Simulator _sim;
-    ir::OwningOpRef _module;
-    std::optional<sim::BatchSession> _session;
+    sim::Session _session;
     soc::SocConfig _cfg;
 };
 

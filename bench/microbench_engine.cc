@@ -12,6 +12,8 @@
 #include "dialects/affine.hh"
 #include "dialects/arith.hh"
 #include "dialects/equeue.hh"
+#include "serve/cache.hh"
+#include "serve/models.hh"
 
 using namespace eq;
 
@@ -390,6 +392,38 @@ BM_LaunchIssue(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_LaunchIssue)->Arg(256)->Arg(1024);
+
+void
+BM_ServeWarmVsCold(benchmark::State &state, bool warm)
+{
+    // The serving daemon's economics in one number pair: a cold
+    // request pays module construction + verify + compile before its
+    // first simulated cycle (fresh ProgramCache every iteration); a
+    // warm request starts simulating immediately off the
+    // BatchSession-pinned entry. The ratio is the per-request win of
+    // the cross-request program cache.
+    serve::ModelKey key = serve::defaultKey(serve::ModelKind::Systolic);
+    key.systolic.ah = key.systolic.aw = 8;
+
+    serve::ProgramCache primed(4);
+    if (warm)
+        primed.acquire(key).run(); // compile once, outside the loop
+    for (auto _ : state) {
+        if (warm) {
+            auto rep = primed.acquire(key).run();
+            benchmark::DoNotOptimize(rep.cycles);
+        } else {
+            serve::ProgramCache cache(4);
+            auto rep = cache.acquire(key).run();
+            benchmark::DoNotOptimize(rep.cycles);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_ServeWarmVsCold, cold, false)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_ServeWarmVsCold, warm, true)
+    ->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

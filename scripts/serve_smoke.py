@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the simulation service (eqserved).
+
+Starts the daemon on an ephemeral port (via --port-file), then drives
+the NDJSON protocol over a raw socket with no client-library help:
+
+  1. simulate twice — the first answer must be cold ("cached": false),
+     the second warm, and both reports identical apart from wall_s;
+  2. malformed and unknown requests — answered with "ok": false on a
+     connection that stays usable;
+  3. stats — cache counters must show the cross-request reuse;
+  4. a sweep request — the streamed rows, re-merged by their dense
+     point index, must byte-match the in-process SweepRunner CSV
+     (serve_client --local), and must do so at every daemon worker
+     count tried (1 and 3);
+  5. shutdown — acknowledged with "bye", after which the daemon
+     process must exit 0 by itself.
+
+Inherits EQ_SIM_BACKEND / EQ_SIM_FUSE, so CI runs it once per backend
+mode and the byte-identical guarantee is checked in all three.
+
+Usage: serve_smoke.py [BUILD_DIR]   (default: build)
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Daemon:
+    """eqserved on an ephemeral port, shut down on context exit."""
+
+    def __init__(self, build_dir, workers):
+        self.binary = os.path.join(build_dir, "src", "eqserved")
+        self.workers = workers
+        self.proc = None
+        self.port = None
+
+    def __enter__(self):
+        fd, self.port_file = tempfile.mkstemp(prefix="eqserved-port-")
+        os.close(fd)
+        os.unlink(self.port_file)
+        self.proc = subprocess.Popen(
+            [self.binary, "--port-file", self.port_file,
+             "--workers", str(self.workers), "--cache-entries", "8"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        deadline = time.time() + 20
+        while time.time() < deadline:
+            if os.path.exists(self.port_file):
+                with open(self.port_file) as f:
+                    text = f.read().strip()
+                if text:
+                    self.port = int(text)
+                    return self
+            if self.proc.poll() is not None:
+                out = self.proc.stdout.read().decode()
+                fail(f"eqserved exited early ({self.proc.returncode}): "
+                     f"{out}")
+            time.sleep(0.05)
+        fail("eqserved did not write its port file in time")
+
+    def __exit__(self, *exc):
+        if self.proc.poll() is None:
+            self.proc.terminate()
+        code = self.proc.wait(timeout=20)
+        if os.path.exists(self.port_file):
+            os.unlink(self.port_file)
+        if not any(exc) and code != 0:
+            fail(f"eqserved exited {code}")
+        return False
+
+
+class Lines:
+    """Newline-framed JSON over a client socket."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=30)
+        self.buf = b""
+
+    def request(self, obj):
+        self.sock.sendall(json.dumps(obj).encode() + b"\n")
+        return self.next()
+
+    def next(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                fail("server closed the connection mid-conversation")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(line)
+
+    def close(self):
+        self.sock.close()
+
+
+def without_wall(report):
+    return {k: v for k, v in report.items() if k != "wall_s"}
+
+
+def check_simulate_and_stats(port):
+    conn = Lines(port)
+    req = {"op": "simulate", "id": 1, "model": "systolic",
+           "config": {"ah": 4, "aw": 4}}
+    cold = conn.request(req)
+    if not cold.get("ok") or cold.get("cached") is not False:
+        fail(f"cold simulate wrong: {cold}")
+    if cold["report"]["cycles"] <= 0:
+        fail(f"implausible report: {cold}")
+
+    warm = conn.request(dict(req, id=2))
+    if not warm.get("ok") or warm.get("cached") is not True:
+        fail(f"warm simulate wrong: {warm}")
+    if without_wall(warm["report"]) != without_wall(cold["report"]):
+        fail("warm report differs from cold report")
+
+    # Protocol errors answer ok=false and keep the connection alive.
+    bad = conn.request({"op": "simulate", "model": "systolic",
+                        "config": {"ahh": 4}})
+    if bad.get("ok") or "ahh" not in bad.get("error", ""):
+        fail(f"typo config not rejected: {bad}")
+    unknown = conn.request({"op": "frobnicate", "id": 9})
+    if unknown.get("ok") or unknown.get("id") != 9:
+        fail(f"unknown op mishandled: {unknown}")
+
+    stats = conn.request({"op": "stats", "id": 3})
+    cache = stats.get("cache", {})
+    if cache.get("misses") != 1 or cache.get("hits") != 1 \
+            or cache.get("runs") != 2:
+        fail(f"stats counters wrong: {stats}")
+    conn.close()
+    print(f"  simulate/stats ok (port {port})")
+
+
+def sweep_args():
+    return ["--model", "systolic", "--axis", "ah=2,4",
+            "--axis", "aw=2,4,8"]
+
+
+def check_sweep_matches_local(build_dir, port, local_csv):
+    client = os.path.join(build_dir, "examples", "serve_client")
+    served = subprocess.run(
+        [client, "--connect", f"127.0.0.1:{port}"] + sweep_args(),
+        check=True, stdout=subprocess.PIPE).stdout
+    if served != local_csv:
+        sys.stderr.write("--- served ---\n" + served.decode())
+        sys.stderr.write("--- local ---\n" + local_csv.decode())
+        fail("served sweep differs from in-process SweepRunner CSV")
+    print(f"  sweep byte-identical to local (port {port})")
+
+
+def check_shutdown(port):
+    conn = Lines(port)
+    bye = conn.request({"op": "shutdown", "id": 99})
+    if not bye.get("ok") or bye.get("type") != "bye":
+        fail(f"shutdown not acknowledged: {bye}")
+    conn.close()
+
+
+def main():
+    build_dir = sys.argv[1] if len(sys.argv) > 1 else "build"
+    client = os.path.join(build_dir, "examples", "serve_client")
+    local_csv = subprocess.run(
+        [client, "--local"] + sweep_args(),
+        check=True, stdout=subprocess.PIPE).stdout
+    if not local_csv:
+        fail("local reference sweep produced no CSV")
+
+    for workers in (1, 3):
+        with Daemon(build_dir, workers) as daemon:
+            if workers == 1:
+                check_simulate_and_stats(daemon.port)
+            check_sweep_matches_local(build_dir, daemon.port,
+                                      local_csv)
+            check_shutdown(daemon.port)
+    print("serve smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -74,6 +74,12 @@ struct Config {
     {
         return !(a == b);
     }
+
+    /** FNV-1a over every structural field (mirrors soc::SocConfig);
+     *  stable across runs so caches can key on it. Equal configs hash
+     *  equal; the converse is NOT guaranteed — cache lookups must
+     *  verify full operator== equality on a hash hit. */
+    uint64_t hash() const;
 };
 
 /** Model outputs compared in Fig. 9. */

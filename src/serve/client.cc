@@ -1,0 +1,265 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace eq {
+namespace serve {
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    _reader.reset();
+}
+
+bool
+Client::connect(const std::string &host, uint16_t port, std::string *err)
+{
+    close();
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg + ": " + std::strerror(errno);
+        close();
+        return false;
+    };
+    _fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (_fd < 0)
+        return fail("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        errno = EINVAL;
+        return fail("inet_pton(" + host + ")");
+    }
+    if (::connect(_fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0)
+        return fail("connect " + host + ":" + std::to_string(port));
+    int one = 1;
+    ::setsockopt(_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    _reader = std::make_unique<LineReader>(_fd);
+    return true;
+}
+
+bool
+Client::sendRequest(const Json &request, std::string *err)
+{
+    if (_fd < 0) {
+        if (err)
+            *err = "not connected";
+        return false;
+    }
+    if (!writeLine(_fd, request.dump())) {
+        if (err)
+            *err = std::string("send: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::readResponse(Json *response, std::string *err)
+{
+    std::string line;
+    if (!_reader || !_reader->next(&line)) {
+        if (err)
+            *err = "connection closed by server";
+        return false;
+    }
+    std::string perr;
+    if (!Json::parse(line, response, &perr) || !response->isObject()) {
+        if (err)
+            *err = "malformed response: " + perr;
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::roundTrip(const Json &request, Json *response, std::string *err)
+{
+    return sendRequest(request, err) && readResponse(response, err);
+}
+
+Client::SimulateResult
+Client::simulate(const ModelKey &key)
+{
+    SimulateResult result;
+    Json request = Json::object();
+    request.set("op", "simulate");
+    request.set("id", _nextId++);
+    request.set("model", modelName(key.kind));
+    request.set("config", modelKeyToJson(key));
+    Json response;
+    std::string err;
+    if (!roundTrip(request, &response, &err)) {
+        result.error = err;
+        return result;
+    }
+    if (!response.getBool("ok", false)) {
+        result.error = response.getStr("error", "server error");
+        return result;
+    }
+    result.ok = true;
+    result.cached = response.getBool("cached", false);
+    if (const Json *report = response.find("report"))
+        result.report = *report;
+    return result;
+}
+
+bool
+Client::sweepTable(const SweepSpec &spec, sweep::Table *out,
+                   std::string *err)
+{
+    std::string verr;
+    if (!spec.validate(&verr)) {
+        if (err)
+            *err = verr;
+        return false;
+    }
+    Json request = spec.toJson();
+    request.set("id", _nextId++);
+    if (!sendRequest(request, err))
+        return false;
+
+    Json begin;
+    if (!readResponse(&begin, err))
+        return false;
+    if (!begin.getBool("ok", false)) {
+        if (err)
+            *err = begin.getStr("error", "server error");
+        return false;
+    }
+    if (begin.getStr("type", "") != "sweep_begin") {
+        if (err)
+            *err = "expected sweep_begin, got '" +
+                   begin.getStr("type", "") + "'";
+        return false;
+    }
+    const std::vector<sweep::Column> schema = spec.schema();
+    const size_t points =
+        static_cast<size_t>(begin.getInt("points", 0));
+
+    // Rows arrive in completion order; slot them by dense point index
+    // so the merged table matches the in-process nested-loop order.
+    std::vector<std::vector<sweep::Cell>> rows(points);
+    std::vector<bool> seen(points, false);
+    size_t received = 0;
+    for (;;) {
+        Json msg;
+        if (!readResponse(&msg, err))
+            return false;
+        if (!msg.getBool("ok", false)) {
+            if (err)
+                *err = msg.getStr("error", "server error");
+            return false;
+        }
+        const std::string type = msg.getStr("type", "");
+        if (type == "sweep_end")
+            break;
+        if (type != "row") {
+            if (err)
+                *err = "unexpected message type '" + type +
+                       "' inside sweep stream";
+            return false;
+        }
+        const size_t index =
+            static_cast<size_t>(msg.getInt("index", -1));
+        const Json *cells = msg.find("cells");
+        if (index >= points || !cells || !cells->isArray() ||
+            cells->size() != schema.size()) {
+            if (err)
+                *err = "malformed row line";
+            return false;
+        }
+        if (seen[index]) {
+            if (err)
+                *err = "duplicate row index " + std::to_string(index);
+            return false;
+        }
+        seen[index] = true;
+        std::vector<sweep::Cell> row;
+        row.reserve(schema.size());
+        for (size_t c = 0; c < schema.size(); ++c) {
+            const Json &v = cells->at(c);
+            switch (schema[c].kind) {
+            case sweep::ValueKind::Int:
+                row.push_back(sweep::Cell(v.asInt()));
+                break;
+            case sweep::ValueKind::Real:
+                row.push_back(sweep::Cell(v.asReal()));
+                break;
+            case sweep::ValueKind::Str:
+                row.push_back(sweep::Cell(v.asStr()));
+                break;
+            }
+        }
+        rows[index] = std::move(row);
+        ++received;
+    }
+    if (received != points) {
+        if (err)
+            *err = "sweep_end after " + std::to_string(received) +
+                   " of " + std::to_string(points) + " rows";
+        return false;
+    }
+
+    sweep::Table table(schema);
+    for (auto &row : rows)
+        table.addRow(std::move(row));
+    *out = std::move(table);
+    return true;
+}
+
+bool
+Client::stats(Json *out, std::string *err)
+{
+    Json request = Json::object();
+    request.set("op", "stats");
+    request.set("id", _nextId++);
+    Json response;
+    if (!roundTrip(request, &response, err))
+        return false;
+    if (!response.getBool("ok", false)) {
+        if (err)
+            *err = response.getStr("error", "server error");
+        return false;
+    }
+    *out = std::move(response);
+    return true;
+}
+
+bool
+Client::shutdownServer(std::string *err)
+{
+    Json request = Json::object();
+    request.set("op", "shutdown");
+    request.set("id", _nextId++);
+    Json response;
+    if (!roundTrip(request, &response, err))
+        return false;
+    if (!response.getBool("ok", false)) {
+        if (err)
+            *err = response.getStr("error", "server error");
+        return false;
+    }
+    return true;
+}
+
+} // namespace serve
+} // namespace eq

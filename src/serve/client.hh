@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Client: a small typed wrapper over the daemon's NDJSON protocol.
+ *
+ * One Client is one TCP connection. Requests are synchronous —
+ * simulate() and stats() write a line and block for the matching
+ * response; sweepTable() streams row lines as they finish on the
+ * server and re-merges them by dense point index, so the returned
+ * table is byte-identical (csv()) to runLocalSweep() for the same
+ * spec, at any server worker count. Not thread-safe: use one Client
+ * per thread (each opens its own connection, which is also what gives
+ * the server's per-client fairness its meaning).
+ */
+
+#ifndef EQ_SERVE_CLIENT_HH
+#define EQ_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/models.hh"
+#include "serve/protocol.hh"
+#include "sweep/table.hh"
+
+namespace eq {
+namespace serve {
+
+class Client {
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to @p host:@p port. False (with @p err) on failure. */
+    bool connect(const std::string &host, uint16_t port,
+                 std::string *err = nullptr);
+    bool connected() const { return _fd >= 0; }
+    void close();
+
+    struct SimulateResult {
+        bool ok = false;
+        std::string error; ///< set when !ok
+        bool cached = false; ///< program was warm in the server cache
+        Json report;         ///< reportToJson shape
+    };
+
+    /** Simulate one configuration (round-trips ModelKey as JSON). */
+    SimulateResult simulate(const ModelKey &key);
+
+    /** Run @p spec on the server and re-merge the streamed rows (by
+     *  dense point index) into a table with spec.schema(). False on
+     *  protocol or server error. */
+    bool sweepTable(const SweepSpec &spec, sweep::Table *out,
+                    std::string *err = nullptr);
+
+    /** Server/cache/scheduler counters. False on error. */
+    bool stats(Json *out, std::string *err = nullptr);
+
+    /** Ask the server to shut down (acknowledged with "bye"). */
+    bool shutdownServer(std::string *err = nullptr);
+
+    /** Send one raw request line and read one raw response line —
+     *  protocol-level escape hatch (used by the smoke script's
+     *  scripted checks and the protocol tests). */
+    bool roundTrip(const Json &request, Json *response,
+                   std::string *err = nullptr);
+
+  private:
+    bool sendRequest(const Json &request, std::string *err);
+    bool readResponse(Json *response, std::string *err);
+
+    int _fd = -1;
+    uint64_t _nextId = 1;
+    std::unique_ptr<LineReader> _reader;
+};
+
+} // namespace serve
+} // namespace eq
+
+#endif // EQ_SERVE_CLIENT_HH

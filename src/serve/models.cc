@@ -1,0 +1,739 @@
+#include "serve/models.hh"
+
+#include <cassert>
+#include <memory>
+
+#include "sim/session.hh"
+#include "systolic/generator.hh"
+
+namespace eq {
+namespace serve {
+
+namespace {
+
+uint64_t
+fnv1a(uint64_t h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+bool
+dataflowFromName(const std::string &name, scalesim::Dataflow *out)
+{
+    if (name == "WS")
+        *out = scalesim::Dataflow::WS;
+    else if (name == "IS")
+        *out = scalesim::Dataflow::IS;
+    else if (name == "OS")
+        *out = scalesim::Dataflow::OS;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// ModelKind / ModelKey
+
+const char *
+modelName(ModelKind kind)
+{
+    switch (kind) {
+    case ModelKind::Systolic: return "systolic";
+    case ModelKind::Soc: return "soc";
+    case ModelKind::Pipeline: return "pipeline";
+    }
+    return "?";
+}
+
+bool
+modelFromName(const std::string &name, ModelKind *out)
+{
+    if (name == "systolic")
+        *out = ModelKind::Systolic;
+    else if (name == "soc")
+        *out = ModelKind::Soc;
+    else if (name == "pipeline")
+        *out = ModelKind::Pipeline;
+    else
+        return false;
+    return true;
+}
+
+ModelKey
+ModelKey::systolicKey(const scalesim::Config &cfg)
+{
+    ModelKey k;
+    k.kind = ModelKind::Systolic;
+    k.systolic = cfg;
+    return k;
+}
+
+ModelKey
+ModelKey::socKey(const soc::SocConfig &cfg)
+{
+    ModelKey k;
+    k.kind = ModelKind::Soc;
+    k.soc = cfg;
+    return k;
+}
+
+ModelKey
+ModelKey::pipelineKey(const soc::PipelineConfig &cfg)
+{
+    ModelKey k;
+    k.kind = ModelKind::Pipeline;
+    k.pipeline = cfg;
+    return k;
+}
+
+uint64_t
+ModelKey::hash() const
+{
+    uint64_t h = fnv1a(0xcbf29ce484222325ull, uint64_t(kind));
+    switch (kind) {
+    case ModelKind::Systolic: return fnv1a(h, systolic.hash());
+    case ModelKind::Soc: return fnv1a(h, soc.hash());
+    case ModelKind::Pipeline: return fnv1a(h, pipeline.hash());
+    }
+    return h;
+}
+
+bool
+ModelKey::operator==(const ModelKey &o) const
+{
+    if (kind != o.kind)
+        return false;
+    switch (kind) {
+    case ModelKind::Systolic: return systolic == o.systolic;
+    case ModelKind::Soc: return soc == o.soc;
+    case ModelKind::Pipeline: return pipeline == o.pipeline;
+    }
+    return false;
+}
+
+ir::OwningOpRef
+ModelKey::build(ir::Context &ctx) const
+{
+    switch (kind) {
+    case ModelKind::Systolic:
+        return systolic::buildSystolicModule(ctx, systolic);
+    case ModelKind::Soc: return soc::buildSocModule(ctx, soc);
+    case ModelKind::Pipeline:
+        return soc::buildPipelineModule(ctx, pipeline);
+    }
+    return ir::OwningOpRef();
+}
+
+ModelKey
+defaultKey(ModelKind kind)
+{
+    ModelKey k;
+    k.kind = kind;
+    return k; // default-constructed configs are each family's default
+}
+
+// ---------------------------------------------------------------------------
+// Config <-> JSON
+
+Json
+modelKeyToJson(const ModelKey &key)
+{
+    Json out = Json::object();
+    switch (key.kind) {
+    case ModelKind::Systolic: {
+        const auto &c = key.systolic;
+        out.set("ah", c.ah);
+        out.set("aw", c.aw);
+        out.set("df", scalesim::dataflowName(c.dataflow));
+        out.set("c", c.c);
+        out.set("h", c.h);
+        out.set("w", c.w);
+        out.set("n", c.n);
+        out.set("fh", c.fh);
+        out.set("fw", c.fw);
+        out.set("elem_bytes", c.elemBytes);
+        break;
+    }
+    case ModelKind::Soc: {
+        const auto &c = key.soc;
+        Json accels = Json::array();
+        for (const auto &t : c.accels) {
+            Json a = Json::object();
+            a.set("ah", t.ah);
+            a.set("aw", t.aw);
+            a.set("df", scalesim::dataflowName(t.dataflow));
+            a.set("link_bw", t.linkBytesPerCycle);
+            accels.push(std::move(a));
+        }
+        out.set("accels", std::move(accels));
+        out.set("bus_bw", c.busBytesPerCycle);
+        out.set("bus_kind", c.busKind);
+        out.set("sram_banks", int64_t(c.sramBanks));
+        out.set("dmas", c.dmaEngines);
+        out.set("rounds", c.rounds);
+        out.set("steps", c.steps);
+        out.set("elem_bytes", c.elemBytes);
+        break;
+    }
+    case ModelKind::Pipeline: {
+        const auto &c = key.pipeline;
+        out.set("stages", c.stages);
+        out.set("batches", c.batches);
+        out.set("tile_elems", c.tileElems);
+        out.set("compute", c.computePerElem);
+        out.set("dma_bw", c.dmaBytesPerCycle);
+        out.set("hop_bw", c.hopBytesPerCycle);
+        out.set("elem_bytes", c.elemBytes);
+        break;
+    }
+    }
+    return out;
+}
+
+namespace {
+
+bool
+wantInt(const Json &v, const std::string &field, int64_t *out,
+        std::string *err)
+{
+    if (!v.isNumber() || !v.isInt()) {
+        *err = "config field '" + field + "' must be an integer";
+        return false;
+    }
+    *out = v.asInt();
+    return true;
+}
+
+bool
+wantDataflow(const Json &v, const std::string &field,
+             scalesim::Dataflow *out, std::string *err)
+{
+    if (!v.isStr() || !dataflowFromName(v.asStr(), out)) {
+        *err = "config field '" + field + "' must be \"WS\", \"IS\" "
+               "or \"OS\"";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+modelKeyFromJson(ModelKind kind, const Json &config, ModelKey *out,
+                 std::string *err)
+{
+    *out = defaultKey(kind);
+    if (config.isNull())
+        return true; // omitted config: the family default
+    if (!config.isObject()) {
+        *err = "\"config\" must be an object";
+        return false;
+    }
+    for (const auto &m : config.members()) {
+        const std::string &f = m.first;
+        const Json &v = m.second;
+        int64_t i = 0;
+        switch (kind) {
+        case ModelKind::Systolic: {
+            auto &c = out->systolic;
+            if (f == "df") {
+                if (!wantDataflow(v, f, &c.dataflow, err))
+                    return false;
+                continue;
+            }
+            int *target = nullptr;
+            if (f == "ah")
+                target = &c.ah;
+            else if (f == "aw")
+                target = &c.aw;
+            else if (f == "c")
+                target = &c.c;
+            else if (f == "h")
+                target = &c.h;
+            else if (f == "w")
+                target = &c.w;
+            else if (f == "n")
+                target = &c.n;
+            else if (f == "fh")
+                target = &c.fh;
+            else if (f == "fw")
+                target = &c.fw;
+            else if (f == "elem_bytes")
+                target = &c.elemBytes;
+            if (!target) {
+                *err = "unknown systolic config field '" + f + "'";
+                return false;
+            }
+            if (!wantInt(v, f, &i, err))
+                return false;
+            *target = static_cast<int>(i);
+            continue;
+        }
+        case ModelKind::Soc: {
+            auto &c = out->soc;
+            if (f == "accels") {
+                if (!v.isArray()) {
+                    *err = "config field 'accels' must be an array";
+                    return false;
+                }
+                c.accels.clear();
+                for (const Json &aj : v.items()) {
+                    if (!aj.isObject()) {
+                        *err = "accel entries must be objects";
+                        return false;
+                    }
+                    soc::TileSpec t;
+                    for (const auto &am : aj.members()) {
+                        if (am.first == "ah" || am.first == "aw") {
+                            if (!wantInt(am.second, am.first, &i, err))
+                                return false;
+                            (am.first == "ah" ? t.ah : t.aw) =
+                                static_cast<int>(i);
+                        } else if (am.first == "df") {
+                            if (!wantDataflow(am.second, am.first,
+                                              &t.dataflow, err))
+                                return false;
+                        } else if (am.first == "link_bw") {
+                            if (!wantInt(am.second, am.first, &i, err))
+                                return false;
+                            t.linkBytesPerCycle = i;
+                        } else {
+                            *err = "unknown accel field '" + am.first +
+                                   "'";
+                            return false;
+                        }
+                    }
+                    c.accels.push_back(t);
+                }
+                continue;
+            }
+            if (f == "bus_kind") {
+                if (!v.isStr() || (v.asStr() != "Streaming" &&
+                                   v.asStr() != "Window")) {
+                    *err = "config field 'bus_kind' must be "
+                           "\"Streaming\" or \"Window\"";
+                    return false;
+                }
+                c.busKind = v.asStr();
+                continue;
+            }
+            if (f == "bus_bw" || f == "sram_banks" || f == "dmas" ||
+                f == "rounds" || f == "steps" || f == "elem_bytes") {
+                if (!wantInt(v, f, &i, err))
+                    return false;
+                if (f == "bus_bw")
+                    c.busBytesPerCycle = i;
+                else if (f == "sram_banks")
+                    c.sramBanks = static_cast<unsigned>(i);
+                else if (f == "dmas")
+                    c.dmaEngines = static_cast<int>(i);
+                else if (f == "rounds")
+                    c.rounds = static_cast<int>(i);
+                else if (f == "steps")
+                    c.steps = static_cast<int>(i);
+                else
+                    c.elemBytes = i;
+                continue;
+            }
+            *err = "unknown soc config field '" + f + "'";
+            return false;
+        }
+        case ModelKind::Pipeline: {
+            auto &c = out->pipeline;
+            if (f == "stages" || f == "batches" || f == "tile_elems" ||
+                f == "compute" || f == "dma_bw" || f == "hop_bw" ||
+                f == "elem_bytes") {
+                if (!wantInt(v, f, &i, err))
+                    return false;
+                if (f == "stages")
+                    c.stages = static_cast<int>(i);
+                else if (f == "batches")
+                    c.batches = static_cast<int>(i);
+                else if (f == "tile_elems")
+                    c.tileElems = i;
+                else if (f == "compute")
+                    c.computePerElem = static_cast<int>(i);
+                else if (f == "dma_bw")
+                    c.dmaBytesPerCycle = i;
+                else if (f == "hop_bw")
+                    c.hopBytesPerCycle = i;
+                else
+                    c.elemBytes = i;
+                continue;
+            }
+            *err = "unknown pipeline config field '" + f + "'";
+            return false;
+        }
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep axes
+
+bool
+applyAxis(ModelKey *key, const std::string &axis, int64_t value,
+          std::string *err)
+{
+    switch (key->kind) {
+    case ModelKind::Systolic: {
+        auto &c = key->systolic;
+        if (axis == "ah")
+            c.ah = static_cast<int>(value);
+        else if (axis == "aw")
+            c.aw = static_cast<int>(value);
+        else if (axis == "hw")
+            c.h = c.w = static_cast<int>(value);
+        else if (axis == "h")
+            c.h = static_cast<int>(value);
+        else if (axis == "w")
+            c.w = static_cast<int>(value);
+        else if (axis == "c")
+            c.c = static_cast<int>(value);
+        else if (axis == "n")
+            c.n = static_cast<int>(value);
+        else if (axis == "f")
+            c.fh = c.fw = static_cast<int>(value);
+        else if (axis == "fh")
+            c.fh = static_cast<int>(value);
+        else if (axis == "fw")
+            c.fw = static_cast<int>(value);
+        else if (axis == "df") {
+            if (value < 0 || value > 2) {
+                if (err)
+                    *err = "axis 'df' takes 0 (WS), 1 (IS) or 2 (OS)";
+                return false;
+            }
+            c.dataflow = value == 0   ? scalesim::Dataflow::WS
+                         : value == 1 ? scalesim::Dataflow::IS
+                                      : scalesim::Dataflow::OS;
+        }
+        else if (axis == "elem_bytes")
+            c.elemBytes = static_cast<int>(value);
+        else {
+            if (err)
+                *err = "unknown systolic axis '" + axis + "'";
+            return false;
+        }
+        return true;
+    }
+    case ModelKind::Soc: {
+        auto &c = key->soc;
+        if (axis == "tiles") {
+            if (value < 1) {
+                if (err)
+                    *err = "axis 'tiles' must be >= 1";
+                return false;
+            }
+            // The fig_soc_contention convention: N alternating WS/OS
+            // 2x2 tiles on 8 B/cyc private links.
+            c.accels.clear();
+            for (int64_t a = 0; a < value; ++a) {
+                soc::TileSpec t;
+                t.ah = t.aw = 2;
+                t.dataflow = (a % 2 == 0) ? scalesim::Dataflow::WS
+                                          : scalesim::Dataflow::OS;
+                t.linkBytesPerCycle = 8;
+                c.accels.push_back(t);
+            }
+        }
+        else if (axis == "dmas")
+            c.dmaEngines = static_cast<int>(value);
+        else if (axis == "bus_bw")
+            c.busBytesPerCycle = value;
+        else if (axis == "rounds")
+            c.rounds = static_cast<int>(value);
+        else if (axis == "steps")
+            c.steps = static_cast<int>(value);
+        else if (axis == "sram_banks")
+            c.sramBanks = static_cast<unsigned>(value);
+        else if (axis == "elem_bytes")
+            c.elemBytes = value;
+        else {
+            if (err)
+                *err = "unknown soc axis '" + axis + "'";
+            return false;
+        }
+        return true;
+    }
+    case ModelKind::Pipeline: {
+        auto &c = key->pipeline;
+        if (axis == "stages")
+            c.stages = static_cast<int>(value);
+        else if (axis == "batches")
+            c.batches = static_cast<int>(value);
+        else if (axis == "tile_elems")
+            c.tileElems = value;
+        else if (axis == "compute")
+            c.computePerElem = static_cast<int>(value);
+        else if (axis == "dma_bw")
+            c.dmaBytesPerCycle = value;
+        else if (axis == "hop_bw")
+            c.hopBytesPerCycle = value;
+        else if (axis == "elem_bytes")
+            c.elemBytes = value;
+        else {
+            if (err)
+                *err = "unknown pipeline axis '" + axis + "'";
+            return false;
+        }
+        return true;
+    }
+    }
+    if (err)
+        *err = "bad model kind";
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// SweepSpec
+
+sweep::Grid
+SweepSpec::grid() const
+{
+    sweep::Grid g;
+    for (const auto &a : axes)
+        g.axis(a.name, a.values);
+    return g;
+}
+
+std::vector<sweep::Column>
+SweepSpec::schema() const
+{
+    std::vector<sweep::Column> cols;
+    for (const auto &a : axes)
+        cols.push_back({a.name, sweep::ValueKind::Int, 6, 0});
+    switch (base.kind) {
+    case ModelKind::Systolic:
+        cols.push_back({"cycles", sweep::ValueKind::Int, 12, 0});
+        cols.push_back({"ops", sweep::ValueKind::Int, 12, 0});
+        cols.push_back({"sram_rd_B", sweep::ValueKind::Int, 10, 0});
+        cols.push_back({"sram_wr_B", sweep::ValueKind::Int, 10, 0});
+        break;
+    case ModelKind::Soc:
+        cols.push_back({"cycles", sweep::ValueKind::Int, 10, 0});
+        cols.push_back({"ops", sweep::ValueKind::Int, 12, 0});
+        cols.push_back({"bus_rd_B", sweep::ValueKind::Int, 10, 0});
+        cols.push_back({"bus_wr_B", sweep::ValueKind::Int, 10, 0});
+        cols.push_back({"bus_peak", sweep::ValueKind::Real, 9, 3});
+        break;
+    case ModelKind::Pipeline:
+        cols.push_back({"cycles", sweep::ValueKind::Int, 10, 0});
+        cols.push_back({"ops", sweep::ValueKind::Int, 12, 0});
+        cols.push_back({"conn_wr_B", sweep::ValueKind::Int, 10, 0});
+        break;
+    }
+    return cols;
+}
+
+ModelKey
+SweepSpec::keyAt(const sweep::Point &point) const
+{
+    ModelKey key = base;
+    for (const auto &a : axes) {
+        std::string err;
+        bool ok = applyAxis(&key, a.name, point.at(a.name), &err);
+        assert(ok && "SweepSpec::keyAt on unvalidated spec");
+        (void)ok;
+    }
+    return key;
+}
+
+std::vector<sweep::Cell>
+SweepSpec::row(const sweep::Point &point,
+               const sim::SimReport &report) const
+{
+    std::vector<sweep::Cell> cells;
+    for (const auto &a : axes)
+        cells.push_back(point.at(a.name));
+    switch (base.kind) {
+    case ModelKind::Systolic: {
+        int64_t rd = 0, wr = 0;
+        for (const auto &m : report.memories) {
+            if (m.kind == "SRAM") {
+                rd += m.bytesRead;
+                wr += m.bytesWritten;
+            }
+        }
+        cells.push_back(static_cast<int64_t>(report.cycles));
+        cells.push_back(static_cast<int64_t>(report.opsExecuted));
+        cells.push_back(rd);
+        cells.push_back(wr);
+        break;
+    }
+    case ModelKind::Soc: {
+        int64_t rd = 0, wr = 0;
+        double peak = 0.0;
+        if (!report.connections.empty()) {
+            // The bus is the first connection the generator creates.
+            const auto &bus = report.connections.front();
+            rd = bus.readBytes;
+            wr = bus.writeBytes;
+            peak = bus.maxBwPortionRead + bus.maxBwPortionWrite;
+        }
+        cells.push_back(static_cast<int64_t>(report.cycles));
+        cells.push_back(static_cast<int64_t>(report.opsExecuted));
+        cells.push_back(rd);
+        cells.push_back(wr);
+        cells.push_back(peak);
+        break;
+    }
+    case ModelKind::Pipeline: {
+        int64_t wr = 0;
+        for (const auto &conn : report.connections)
+            wr += conn.writeBytes;
+        cells.push_back(static_cast<int64_t>(report.cycles));
+        cells.push_back(static_cast<int64_t>(report.opsExecuted));
+        cells.push_back(wr);
+        break;
+    }
+    }
+    return cells;
+}
+
+bool
+SweepSpec::validate(std::string *err) const
+{
+    if (axes.empty()) {
+        if (err)
+            *err = "sweep needs at least one axis";
+        return false;
+    }
+    for (const auto &a : axes) {
+        if (a.values.empty()) {
+            if (err)
+                *err = "axis '" + a.name + "' has no values";
+            return false;
+        }
+        for (int64_t v : a.values) {
+            ModelKey probe = base;
+            if (!applyAxis(&probe, a.name, v, err))
+                return false;
+        }
+    }
+    return true;
+}
+
+Json
+SweepSpec::toJson() const
+{
+    Json out = Json::object();
+    out.set("op", "sweep");
+    out.set("model", modelName(base.kind));
+    out.set("config", modelKeyToJson(base));
+    Json jaxes = Json::array();
+    for (const auto &a : axes) {
+        Json ja = Json::object();
+        ja.set("name", a.name);
+        Json vals = Json::array();
+        for (int64_t v : a.values)
+            vals.push(v);
+        ja.set("values", std::move(vals));
+        jaxes.push(std::move(ja));
+    }
+    out.set("axes", std::move(jaxes));
+    return out;
+}
+
+bool
+SweepSpec::fromJson(const Json &request, SweepSpec *out,
+                    std::string *err)
+{
+    ModelKind kind;
+    if (!modelFromName(request.getStr("model", ""), &kind)) {
+        *err = "unknown or missing \"model\"";
+        return false;
+    }
+    const Json *config = request.find("config");
+    if (!modelKeyFromJson(kind, config ? *config : Json(), &out->base,
+                          err))
+        return false;
+    out->axes.clear();
+    const Json *jaxes = request.find("axes");
+    if (!jaxes || !jaxes->isArray()) {
+        *err = "sweep request needs an \"axes\" array";
+        return false;
+    }
+    for (const Json &ja : jaxes->items()) {
+        if (!ja.isObject()) {
+            *err = "axis entries must be objects";
+            return false;
+        }
+        SweepAxis axis;
+        axis.name = ja.getStr("name", "");
+        if (axis.name.empty()) {
+            *err = "axis entry missing \"name\"";
+            return false;
+        }
+        const Json *vals = ja.find("values");
+        if (!vals || !vals->isArray()) {
+            *err = "axis '" + axis.name + "' missing \"values\"";
+            return false;
+        }
+        for (const Json &v : vals->items()) {
+            if (!v.isInt()) {
+                *err = "axis '" + axis.name +
+                       "' values must be integers";
+                return false;
+            }
+            axis.values.push_back(v.asInt());
+        }
+        out->axes.push_back(std::move(axis));
+    }
+    return out->validate(err);
+}
+
+// ---------------------------------------------------------------------------
+// In-process reference sweep
+
+sweep::Table
+runLocalSweep(const SweepSpec &spec, unsigned threads,
+              sim::EngineOptions engine)
+{
+    sweep::Grid g = spec.grid();
+    auto points = g.points();
+    sweep::RunnerOptions ropts;
+    ropts.threads = threads;
+    sweep::SweepRunner runner(ropts);
+
+    // One Session per worker, rebuilt only when the point's structural
+    // key changes — the same build-cache-run path the daemon's
+    // ProgramCache entries use.
+    struct Worker {
+        explicit Worker(sim::EngineOptions opts) : session(opts) {}
+        sim::Session session;
+        ModelKey key;
+        bool hasKey = false;
+    };
+    std::vector<std::unique_ptr<Worker>> workers;
+    unsigned n = runner.threadsFor(points.size());
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.push_back(std::make_unique<Worker>(engine));
+
+    return runner.run(
+        points, spec.schema(),
+        [&](const sweep::Point &p,
+            unsigned w) -> std::vector<sweep::Cell> {
+            Worker &worker = *workers[w];
+            ModelKey key = spec.keyAt(p);
+            if (!worker.hasKey || worker.key != key) {
+                worker.session.rebuild([&](ir::Context &ctx) {
+                    return key.build(ctx);
+                });
+                worker.key = key;
+                worker.hasKey = true;
+            }
+            return spec.row(p, worker.session.run());
+        });
+}
+
+} // namespace serve
+} // namespace eq

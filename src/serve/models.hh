@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The serving layer's model registry: every scenario family the daemon
+ * can simulate, behind one value-typed key.
+ *
+ * A ModelKey names a scenario family (systolic / soc / pipeline) plus
+ * the family's full structural config. Keys are value-comparable
+ * (operator== compares the active config field-for-field) and FNV-1a
+ * hashable — the ProgramCache keys on hash() but always verifies full
+ * equality before reusing an entry, so hash collisions cost a rebuild,
+ * never a wrong result.
+ *
+ * A SweepSpec is the serializable subset of a sweep::Grid — a base
+ * ModelKey plus named integer axes applied on top of it per point.
+ * The spec is shared verbatim by both execution paths: the daemon's
+ * scheduler (rows streamed in completion order, tagged with the dense
+ * point index) and runLocalSweep (an in-process SweepRunner). Both
+ * produce rows through the same schema()/row() functions, which is
+ * what makes a served sweep byte-identical to the in-process table
+ * after the client re-merges rows by point index.
+ */
+
+#ifndef EQ_SERVE_MODELS_HH
+#define EQ_SERVE_MODELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/context.hh"
+#include "ir/operation.hh"
+#include "scalesim/scalesim.hh"
+#include "serve/protocol.hh"
+#include "sim/engine.hh"
+#include "soc/soc.hh"
+#include "sweep/grid.hh"
+#include "sweep/runner.hh"
+#include "sweep/table.hh"
+
+namespace eq {
+namespace serve {
+
+enum class ModelKind : uint8_t { Systolic, Soc, Pipeline };
+
+const char *modelName(ModelKind kind);
+/** Returns false for unknown names ("systolic"/"soc"/"pipeline"). */
+bool modelFromName(const std::string &name, ModelKind *out);
+
+/** One scenario family + its full structural config. */
+struct ModelKey {
+    ModelKind kind = ModelKind::Systolic;
+    // Only the config matching `kind` is meaningful; the others stay
+    // default-constructed so plain memberwise comparison of the active
+    // one is well-defined.
+    scalesim::Config systolic;
+    soc::SocConfig soc;
+    soc::PipelineConfig pipeline;
+
+    static ModelKey systolicKey(const scalesim::Config &cfg);
+    static ModelKey socKey(const soc::SocConfig &cfg);
+    static ModelKey pipelineKey(const soc::PipelineConfig &cfg);
+
+    /** FNV-1a over kind + the active config's structural hash. */
+    uint64_t hash() const;
+
+    /** Full structural equality (kind + active config operator==). */
+    bool operator==(const ModelKey &o) const;
+    bool operator!=(const ModelKey &o) const { return !(*this == o); }
+
+    /** Build the family's module for this config. */
+    ir::OwningOpRef build(ir::Context &ctx) const;
+};
+
+/** The family's default config (what a request's omitted "config"
+ *  fields fall back to). */
+ModelKey defaultKey(ModelKind kind);
+
+/** Config <-> JSON. toJson dumps every structural field; fromJson
+ *  starts from defaultKey(kind) and overrides the fields present in
+ *  @p config (unknown fields are an error, so typos never silently
+ *  simulate the default). */
+Json modelKeyToJson(const ModelKey &key);
+bool modelKeyFromJson(ModelKind kind, const Json &config, ModelKey *out,
+                      std::string *err);
+
+/**
+ * Apply one named sweep-axis value onto a key (e.g. "ah"=8 for
+ * systolic, "tiles"=4 or "bus_bw"=16 for soc). Axis vocabulary:
+ *   systolic: ah aw hw h w c n f fh fw df elem_bytes
+ *   soc:      tiles dmas bus_bw rounds steps sram_banks elem_bytes
+ *   pipeline: stages batches tile_elems compute dma_bw hop_bw
+ *             elem_bytes
+ * "tiles" resizes the SoC to N alternating WS/OS 2x2 tiles (the
+ * fig_soc_contention convention). Returns false on an unknown axis.
+ */
+bool applyAxis(ModelKey *key, const std::string &axis, int64_t value,
+               std::string *err);
+
+/** One named integer axis of a sweep request. */
+struct SweepAxis {
+    std::string name;
+    std::vector<int64_t> values;
+};
+
+/** A serializable sweep: base config + axes (declaration order is the
+ *  grid's axis order, so dense point indices match the nested loops). */
+struct SweepSpec {
+    ModelKey base;
+    std::vector<SweepAxis> axes;
+
+    /** The equivalent declarative grid (unfiltered). */
+    sweep::Grid grid() const;
+
+    /** Axis columns (request order) + the family's metric columns.
+     *  Metric columns are simulation-deterministic only — no wall
+     *  clock — so tables byte-compare across hosts and worker
+     *  counts. */
+    std::vector<sweep::Column> schema() const;
+
+    /** The structural key simulated at @p point: base + axis
+     *  overrides. Panics on axis names applyAxis rejects — specs must
+     *  be validated (validate()) before points are expanded. */
+    ModelKey keyAt(const sweep::Point &point) const;
+
+    /** One result row for @p point (axis cells + metrics derived from
+     *  @p report). */
+    std::vector<sweep::Cell> row(const sweep::Point &point,
+                                 const sim::SimReport &report) const;
+
+    /** Check every axis name/value against the base key. */
+    bool validate(std::string *err) const;
+
+    Json toJson() const;
+    static bool fromJson(const Json &request, SweepSpec *out,
+                         std::string *err);
+};
+
+/**
+ * Run @p spec in-process through the SweepRunner (one sim::Session per
+ * worker, BatchSession reuse per structural key) — the reference the
+ * served path must reproduce byte-identically.
+ */
+sweep::Table runLocalSweep(const SweepSpec &spec, unsigned threads = 0,
+                           sim::EngineOptions engine = {});
+
+} // namespace serve
+} // namespace eq
+
+#endif // EQ_SERVE_MODELS_HH

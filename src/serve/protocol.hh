@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The eqserved wire protocol: newline-delimited JSON over a TCP
+ * stream. Every request and every response is exactly one JSON object
+ * on one line, so responses to long-running work (sweep rows) can be
+ * streamed incrementally and interleaved per connection.
+ *
+ * Requests ("op" selects the verb):
+ *   {"op":"simulate","id":1,"model":"systolic","config":{...}}
+ *   {"op":"sweep","id":2,"model":"soc","config":{...},
+ *    "axes":[{"name":"tiles","values":[1,2]}, ...]}
+ *   {"op":"stats","id":3}
+ *   {"op":"shutdown","id":4}
+ *
+ * Responses always carry the request's "id" and "ok". A simulate
+ * request answers with one {"type":"report",...} line; a sweep request
+ * streams {"type":"sweep_begin"}, then one {"type":"row","index":i}
+ * line per dense grid point *in completion order* as workers finish,
+ * then {"type":"sweep_end"} — the client re-merges rows by their dense
+ * point index, which reproduces the in-process SweepRunner table
+ * byte-identically at any worker count.
+ *
+ * This header also holds the minimal JSON value type the protocol is
+ * built on (parser + deterministic writer; object member order is
+ * preserved) and the blocking line-framing helpers both ends share.
+ */
+
+#ifndef EQ_SERVE_PROTOCOL_HH
+#define EQ_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/report.hh"
+
+namespace eq {
+namespace serve {
+
+/** A parsed JSON value: null / bool / int64 / double / string /
+ *  array / object. Ints and reals are kept distinct so integer cells
+ *  survive a round trip exactly; doubles are written with enough
+ *  digits ("%.17g") to round-trip bit-exactly. */
+class Json {
+  public:
+    enum class Kind : uint8_t { Null, Bool, Int, Real, Str, Array, Object };
+
+    Json() : _kind(Kind::Null) {}
+    Json(bool v) : _kind(Kind::Bool), _b(v) {}
+    Json(int v) : _kind(Kind::Int), _i(v) {}
+    Json(unsigned v) : _kind(Kind::Int), _i(v) {}
+    Json(int64_t v) : _kind(Kind::Int), _i(v) {}
+    Json(uint64_t v) : _kind(Kind::Int), _i(static_cast<int64_t>(v)) {}
+    Json(double v) : _kind(Kind::Real), _r(v) {}
+    Json(std::string v) : _kind(Kind::Str), _s(std::move(v)) {}
+    Json(const char *v) : _kind(Kind::Str), _s(v) {}
+
+    static Json array() { return Json(Kind::Array); }
+    static Json object() { return Json(Kind::Object); }
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::Null; }
+    bool isBool() const { return _kind == Kind::Bool; }
+    bool isInt() const { return _kind == Kind::Int; }
+    bool isNumber() const
+    {
+        return _kind == Kind::Int || _kind == Kind::Real;
+    }
+    bool isStr() const { return _kind == Kind::Str; }
+    bool isArray() const { return _kind == Kind::Array; }
+    bool isObject() const { return _kind == Kind::Object; }
+
+    bool asBool() const { return _b; }
+    /** Int value (Real cells truncate). */
+    int64_t asInt() const
+    {
+        return _kind == Kind::Real ? static_cast<int64_t>(_r) : _i;
+    }
+    /** Numeric value (Int promotes). */
+    double asReal() const
+    {
+        return _kind == Kind::Int ? static_cast<double>(_i) : _r;
+    }
+    const std::string &asStr() const { return _s; }
+
+    // Array access.
+    void push(Json v) { _arr.push_back(std::move(v)); }
+    size_t size() const { return _arr.size(); }
+    const Json &at(size_t i) const { return _arr[i]; }
+    const std::vector<Json> &items() const { return _arr; }
+
+    // Object access (insertion-ordered; set() replaces in place).
+    void set(const std::string &key, Json v);
+    /** Member lookup; nullptr when absent (or not an object). */
+    const Json *find(const std::string &key) const;
+    const std::vector<std::pair<std::string, Json>> &members() const
+    {
+        return _obj;
+    }
+
+    /** Typed member conveniences for request parsing: the member's
+     *  value when present and of the right kind, else @p fallback. */
+    int64_t getInt(const std::string &key, int64_t fallback) const;
+    std::string getStr(const std::string &key,
+                       const std::string &fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** Compact single-line serialization (no spaces, members in
+     *  insertion order) — one dump() per protocol line. */
+    std::string dump() const;
+
+    /** Parse @p text (one complete JSON value, surrounding whitespace
+     *  allowed). Returns false and sets @p err on malformed input. */
+    static bool parse(const std::string &text, Json *out,
+                      std::string *err);
+
+  private:
+    explicit Json(Kind k) : _kind(k) {}
+
+    void dumpTo(std::string &out) const;
+
+    Kind _kind;
+    bool _b = false;
+    int64_t _i = 0;
+    double _r = 0.0;
+    std::string _s;
+    std::vector<Json> _arr;
+    std::vector<std::pair<std::string, Json>> _obj;
+};
+
+/**
+ * Blocking newline-framed reads over a socket/pipe fd. Lines are
+ * LF-terminated (a trailing CR is stripped so `nc -C` works); the
+ * terminator is removed from the returned line.
+ */
+class LineReader {
+  public:
+    explicit LineReader(int fd) : _fd(fd) {}
+
+    /** Read the next complete line. Returns false on EOF or error
+     *  (call again is not meaningful afterwards). */
+    bool next(std::string *line);
+
+  private:
+    int _fd;
+    std::string _buf;
+    bool _eof = false;
+};
+
+/** Write @p line plus the LF terminator, looping over partial writes.
+ *  SIGPIPE-safe (MSG_NOSIGNAL); returns false once the peer is gone. */
+bool writeLine(int fd, const std::string &line);
+
+/**
+ * Serialize a SimReport. Every field is simulation-deterministic
+ * except wall_s (host execution time), which @p include_wall drops for
+ * byte-comparing warm and cold runs of the same config.
+ */
+Json reportToJson(const sim::SimReport &report, bool include_wall = true);
+
+/** Standard response skeletons ("id" echoed, "ok" set). @p id may be
+ *  any client-chosen Json value (servers echo it verbatim). */
+Json makeResponse(const Json *id, const std::string &type);
+Json makeError(const Json *id, const std::string &message);
+
+} // namespace serve
+} // namespace eq
+
+#endif // EQ_SERVE_PROTOCOL_HH

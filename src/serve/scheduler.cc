@@ -1,0 +1,124 @@
+#include "serve/scheduler.hh"
+
+#include <cstdlib>
+
+namespace eq {
+namespace serve {
+
+namespace {
+
+unsigned
+resolveWorkers(unsigned requested)
+{
+    if (requested)
+        return requested;
+    if (const char *env = std::getenv("EQ_SERVE_WORKERS")) {
+        char *end = nullptr;
+        long n = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && n > 0)
+            return static_cast<unsigned>(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace
+
+Scheduler::Scheduler(Options opts) : _opts(opts)
+{
+    if (_opts.maxQueuedPerClient < 1)
+        _opts.maxQueuedPerClient = 1;
+    unsigned n = resolveWorkers(_opts.workers);
+    _threads.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        _threads.emplace_back([this] { workerLoop(); });
+}
+
+Scheduler::~Scheduler()
+{
+    stop();
+}
+
+Scheduler::Submit
+Scheduler::submit(uint64_t client, Job job, bool block)
+{
+    std::unique_lock<std::mutex> lk(_mu);
+    for (;;) {
+        if (_stopping)
+            return Submit::Stopped;
+        ClientQueue &q = _clients[client];
+        if (q.jobs.size() < _opts.maxQueuedPerClient) {
+            q.jobs.push_back(std::move(job));
+            if (!q.inRoundRobin) {
+                q.inRoundRobin = true;
+                _rr.push_back(client);
+            }
+            ++_stats.submitted;
+            ++_stats.queued;
+            _work.notify_one();
+            return Submit::Queued;
+        }
+        if (!block) {
+            ++_stats.rejected;
+            return Submit::Rejected;
+        }
+        _space.wait(lk);
+    }
+}
+
+void
+Scheduler::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(_mu);
+    for (;;) {
+        while (_rr.empty() && !_stopping)
+            _work.wait(lk);
+        if (_rr.empty() && _stopping)
+            return; // drained
+        // One job per client turn: take the head of the next client's
+        // FIFO, then rotate the client to the back if it still has
+        // work.
+        uint64_t client = _rr.front();
+        _rr.pop_front();
+        ClientQueue &q = _clients[client];
+        Job job = std::move(q.jobs.front());
+        q.jobs.pop_front();
+        if (q.jobs.empty())
+            q.inRoundRobin = false;
+        else
+            _rr.push_back(client);
+        --_stats.queued;
+        _space.notify_all();
+        lk.unlock();
+        job();
+        lk.lock();
+        ++_stats.executed;
+    }
+}
+
+void
+Scheduler::stop()
+{
+    {
+        std::lock_guard<std::mutex> g(_mu);
+        if (_stopping && _threads.empty())
+            return;
+        _stopping = true;
+    }
+    _work.notify_all();
+    _space.notify_all();
+    for (auto &t : _threads)
+        if (t.joinable())
+            t.join();
+    _threads.clear();
+}
+
+Scheduler::Stats
+Scheduler::stats() const
+{
+    std::lock_guard<std::mutex> g(_mu);
+    return _stats;
+}
+
+} // namespace serve
+} // namespace eq

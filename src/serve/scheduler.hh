@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Scheduler: the daemon's worker pool with per-client fairness and
+ * bounded queues.
+ *
+ * Work arrives tagged with a client id. Each client owns a FIFO; the
+ * pool drains clients round-robin, one job per turn, so a client that
+ * floods ten thousand sweep points cannot starve another client's
+ * single simulate request — the second client's job runs after at
+ * most (clients x 1) other jobs, not after the whole flood.
+ *
+ * Backpressure: each client's queue is capped. A non-blocking submit
+ * is refused at the cap (the server answers such requests with an
+ * error, which is the protocol's backpressure signal); a blocking
+ * submit — used for expanding a sweep's points from the client's own
+ * reader thread — waits for space, which stalls exactly that client's
+ * request stream and nobody else's. Jobs must never submit blocking
+ * work themselves (worker threads don't drain while blocked).
+ */
+
+#ifndef EQ_SERVE_SCHEDULER_HH
+#define EQ_SERVE_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eq {
+namespace serve {
+
+struct SchedulerOptions {
+    /** Worker threads; 0 = EQ_SERVE_WORKERS env, else hardware
+     *  concurrency (min 1). */
+    unsigned workers = 0;
+    /** Per-client queued-job cap (backpressure bound). */
+    size_t maxQueuedPerClient = 256;
+};
+
+class Scheduler {
+  public:
+    using Options = SchedulerOptions;
+
+    using Job = std::function<void()>;
+
+    enum class Submit : uint8_t {
+        Queued,   ///< accepted
+        Rejected, ///< client queue full (non-blocking submit only)
+        Stopped,  ///< scheduler is shutting down
+    };
+
+    struct Stats {
+        uint64_t submitted = 0;
+        uint64_t rejected = 0;
+        uint64_t executed = 0;
+        size_t queued = 0; ///< currently waiting across all clients
+    };
+
+    explicit Scheduler(Options opts = {});
+    ~Scheduler(); ///< stops without draining (stop() first to drain)
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Enqueue @p job for @p client. With @p block, waits for queue
+     *  space instead of rejecting (never returns Rejected). */
+    Submit submit(uint64_t client, Job job, bool block = false);
+
+    /** Finish every queued job, then stop the workers. Idempotent. */
+    void stop();
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(_threads.size());
+    }
+    Stats stats() const;
+
+  private:
+    void workerLoop();
+
+    struct ClientQueue {
+        std::deque<Job> jobs;
+        bool inRoundRobin = false;
+    };
+
+    Options _opts;
+    mutable std::mutex _mu;
+    std::condition_variable _work;  ///< workers wait here
+    std::condition_variable _space; ///< blocking submitters wait here
+    std::map<uint64_t, ClientQueue> _clients;
+    std::deque<uint64_t> _rr; ///< clients with pending jobs, in turn order
+    std::vector<std::thread> _threads;
+    Stats _stats;
+    bool _stopping = false;
+};
+
+} // namespace serve
+} // namespace eq
+
+#endif // EQ_SERVE_SCHEDULER_HH

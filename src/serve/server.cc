@@ -1,0 +1,411 @@
+#include "serve/server.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace eq {
+namespace serve {
+
+/** One accepted connection. Writes are serialized by `writeMu` so
+ *  concurrently finishing jobs never interleave response bytes. */
+struct Server::Conn {
+    int fd = -1;
+    uint64_t id = 0; ///< scheduler client id
+
+    std::mutex writeMu;
+    std::atomic<bool> alive{true};
+
+    bool
+    send(const Json &msg)
+    {
+        std::lock_guard<std::mutex> g(writeMu);
+        if (!alive.load())
+            return false;
+        if (!writeLine(fd, msg.dump())) {
+            alive.store(false);
+            return false;
+        }
+        return true;
+    }
+};
+
+struct Server::State {
+    std::thread acceptThread;
+
+    std::mutex mu;
+    std::condition_variable stopCv;
+    bool stopRequested = false;
+    bool tornDown = false;
+    uint64_t accepted = 0;
+    std::vector<std::pair<std::shared_ptr<Conn>, std::thread>> readers;
+};
+
+Server::Server(ServerOptions opts)
+    : _opts(std::move(opts)), _state(std::make_unique<State>())
+{
+    _cache = std::make_unique<ProgramCache>(_opts.cacheEntries,
+                                            _opts.engine);
+    Scheduler::Options sopts;
+    sopts.workers = _opts.workers;
+    sopts.maxQueuedPerClient = _opts.maxQueuedPerClient;
+    _scheduler = std::make_unique<Scheduler>(sopts);
+}
+
+Server::~Server()
+{
+    shutdown();
+    wait();
+}
+
+bool
+Server::start(std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg + ": " + std::strerror(errno);
+        if (_listenFd >= 0) {
+            ::close(_listenFd);
+            _listenFd = -1;
+        }
+        return false;
+    };
+
+    _listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (_listenFd < 0)
+        return fail("socket");
+    int one = 1;
+    ::setsockopt(_listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(_opts.port);
+    if (::inet_pton(AF_INET, _opts.host.c_str(), &addr.sin_addr) != 1) {
+        errno = EINVAL;
+        return fail("inet_pton(" + _opts.host + ")");
+    }
+    if (::bind(_listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        return fail("bind");
+    if (::listen(_listenFd, 64) != 0)
+        return fail("listen");
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(_listenFd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0)
+        return fail("getsockname");
+    _port = ntohs(bound.sin_port);
+
+    _state->acceptThread = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+Server::acceptLoop()
+{
+    uint64_t nextClient = 1;
+    for (;;) {
+        int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listen socket closed: shutting down
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        conn->id = nextClient++;
+        std::lock_guard<std::mutex> g(_state->mu);
+        if (_state->stopRequested) {
+            ::close(fd);
+            return;
+        }
+        ++_state->accepted;
+        _state->readers.emplace_back(
+            conn, std::thread([this, conn] { readerLoop(conn); }));
+    }
+}
+
+void
+Server::readerLoop(std::shared_ptr<Conn> conn)
+{
+    LineReader reader(conn->fd);
+    std::string line;
+    while (reader.next(&line)) {
+        if (line.empty())
+            continue;
+        handleLine(conn, line);
+    }
+    conn->alive.store(false);
+}
+
+void
+Server::handleLine(const std::shared_ptr<Conn> &conn,
+                   const std::string &line)
+{
+    Json request;
+    std::string err;
+    if (!Json::parse(line, &request, &err) || !request.isObject()) {
+        conn->send(makeError(nullptr, "malformed request: " +
+                                          (err.empty() ? "not an object"
+                                                       : err)));
+        return;
+    }
+    const std::string op = request.getStr("op", "");
+    if (op == "simulate") {
+        handleSimulate(conn, std::move(request));
+    } else if (op == "sweep") {
+        handleSweep(conn, std::move(request));
+    } else if (op == "stats") {
+        handleStats(conn, request);
+    } else if (op == "shutdown") {
+        const Json *id = request.find("id");
+        conn->send(makeResponse(id, "bye"));
+        shutdown();
+    } else {
+        const Json *id = request.find("id");
+        conn->send(makeError(id, "unknown op '" + op + "'"));
+    }
+}
+
+namespace {
+
+Json
+cellToJson(const sweep::Cell &cell)
+{
+    switch (cell.kind()) {
+    case sweep::ValueKind::Int: return Json(cell.asInt());
+    case sweep::ValueKind::Real: return Json(cell.asReal());
+    case sweep::ValueKind::Str: return Json(cell.asStr());
+    }
+    return Json();
+}
+
+} // namespace
+
+void
+Server::handleSimulate(const std::shared_ptr<Conn> &conn, Json request)
+{
+    const Json *idp = request.find("id");
+    Json id = idp ? *idp : Json();
+    ModelKind kind;
+    if (!modelFromName(request.getStr("model", ""), &kind)) {
+        conn->send(makeError(&id, "unknown or missing \"model\""));
+        return;
+    }
+    ModelKey key;
+    std::string err;
+    const Json *config = request.find("config");
+    if (!modelKeyFromJson(kind, config ? *config : Json(), &key, &err)) {
+        conn->send(makeError(&id, err));
+        return;
+    }
+
+    auto job = [this, conn, id, key]() {
+        auto handle = _cache->acquire(key);
+        bool warm = handle.warm();
+        sim::SimReport report = handle.run();
+        Json resp = makeResponse(&id, "report");
+        resp.set("model", modelName(key.kind));
+        resp.set("cached", warm);
+        resp.set("report", reportToJson(report));
+        conn->send(resp);
+    };
+    switch (_scheduler->submit(conn->id, std::move(job))) {
+    case Scheduler::Submit::Queued: break;
+    case Scheduler::Submit::Rejected:
+        conn->send(makeError(&id, "backpressure: client queue full"));
+        break;
+    case Scheduler::Submit::Stopped:
+        conn->send(makeError(&id, "server shutting down"));
+        break;
+    }
+}
+
+void
+Server::handleSweep(const std::shared_ptr<Conn> &conn, Json request)
+{
+    const Json *idp = request.find("id");
+    Json id = idp ? *idp : Json();
+    std::string err;
+
+    // Shared by every point job. The grid is stored by value and the
+    // points are enumerated from the *stored* grid, so their borrowed
+    // Grid pointer stays valid for the sweep's lifetime.
+    struct SweepState {
+        SweepSpec spec;
+        sweep::Grid grid;
+        std::vector<sweep::Point> points;
+        Json id;
+        std::atomic<size_t> remaining{0};
+    };
+    auto state = std::make_shared<SweepState>();
+    if (!SweepSpec::fromJson(request, &state->spec, &err)) {
+        conn->send(makeError(&id, err));
+        return;
+    }
+    state->grid = state->spec.grid();
+    state->points = state->grid.points();
+    state->id = id;
+    if (state->points.empty()) {
+        conn->send(makeError(&id, "sweep grid has no points"));
+        return;
+    }
+    state->remaining.store(state->points.size());
+
+    Json begin = makeResponse(&id, "sweep_begin");
+    begin.set("model", modelName(state->spec.base.kind));
+    begin.set("points", state->points.size());
+    Json columns = Json::array();
+    for (const auto &col : state->spec.schema())
+        columns.push(col.name);
+    begin.set("columns", std::move(columns));
+    if (!conn->send(begin))
+        return;
+
+    for (size_t i = 0; i < state->points.size(); ++i) {
+        auto job = [this, conn, state, i]() {
+            const sweep::Point &point = state->points[i];
+            ModelKey key = state->spec.keyAt(point);
+            auto handle = _cache->acquire(key);
+            sim::SimReport report = handle.run();
+            Json resp = makeResponse(&state->id, "row");
+            resp.set("index", point.index());
+            Json cells = Json::array();
+            for (const auto &cell : state->spec.row(point, report))
+                cells.push(cellToJson(cell));
+            resp.set("cells", std::move(cells));
+            conn->send(resp);
+            if (state->remaining.fetch_sub(1) == 1) {
+                Json end = makeResponse(&state->id, "sweep_end");
+                end.set("rows", state->points.size());
+                conn->send(end);
+            }
+        };
+        // Blocking submit: a grid larger than the queue cap stalls
+        // this client's reader (its own backpressure), not the pool.
+        if (_scheduler->submit(conn->id, std::move(job),
+                               /*block=*/true) !=
+            Scheduler::Submit::Queued) {
+            conn->send(makeError(&id, "server shutting down"));
+            return;
+        }
+    }
+}
+
+void
+Server::handleStats(const std::shared_ptr<Conn> &conn,
+                    const Json &request)
+{
+    const Json *idp = request.find("id");
+    Json id = idp ? *idp : Json();
+    Json resp = makeResponse(&id, "stats");
+
+    ProgramCache::Stats cs = _cache->stats();
+    Json cache = Json::object();
+    cache.set("hits", cs.hits);
+    cache.set("misses", cs.misses);
+    cache.set("evictions", cs.evictions);
+    cache.set("collisions", cs.collisions);
+    cache.set("runs", cs.runs);
+    cache.set("entries", cs.entries);
+    cache.set("capacity", cs.capacity);
+    resp.set("cache", std::move(cache));
+
+    Scheduler::Stats ss = _scheduler->stats();
+    Json sched = Json::object();
+    sched.set("workers", _scheduler->workers());
+    sched.set("submitted", ss.submitted);
+    sched.set("rejected", ss.rejected);
+    sched.set("executed", ss.executed);
+    sched.set("queued", ss.queued);
+    resp.set("scheduler", std::move(sched));
+
+    Json server = Json::object();
+    {
+        std::lock_guard<std::mutex> g(_state->mu);
+        server.set("connections", _state->accepted);
+    }
+    server.set("backend",
+               _opts.engine.backend == sim::Backend::Interp ? "interp"
+               : _opts.engine.backend == sim::Backend::Compiled
+                   ? "compiled"
+                   : "auto");
+    resp.set("server", std::move(server));
+    conn->send(resp);
+}
+
+void
+Server::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> g(_state->mu);
+        if (_state->stopRequested)
+            return;
+        _state->stopRequested = true;
+    }
+    // Closing the listen socket pops the accept loop out of accept().
+    if (_listenFd >= 0)
+        ::shutdown(_listenFd, SHUT_RDWR);
+    _state->stopCv.notify_all();
+}
+
+uint64_t
+Server::connectionsAccepted() const
+{
+    std::lock_guard<std::mutex> g(_state->mu);
+    return _state->accepted;
+}
+
+void
+Server::wait()
+{
+    {
+        std::unique_lock<std::mutex> lk(_state->mu);
+        _state->stopCv.wait(lk,
+                            [this] { return _state->stopRequested; });
+        if (_state->tornDown)
+            return;
+        _state->tornDown = true;
+    }
+    if (_state->acceptThread.joinable())
+        _state->acceptThread.join();
+    if (_listenFd >= 0) {
+        ::close(_listenFd);
+        _listenFd = -1;
+    }
+    // Finish every queued job (streams pending rows to still-open
+    // connections), then stop the pool.
+    _scheduler->stop();
+    // Wake blocked readers and join them.
+    std::vector<std::pair<std::shared_ptr<Conn>, std::thread>> readers;
+    {
+        std::lock_guard<std::mutex> g(_state->mu);
+        readers.swap(_state->readers);
+    }
+    for (auto &r : readers) {
+        r.first->alive.store(false);
+        ::shutdown(r.first->fd, SHUT_RDWR);
+    }
+    for (auto &r : readers) {
+        if (r.second.joinable())
+            r.second.join();
+        ::close(r.first->fd);
+    }
+}
+
+} // namespace serve
+} // namespace eq

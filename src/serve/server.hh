@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Server: the long-lived simulation service (the ROADMAP's
+ * "simulation-as-a-service daemon" — eqserved is a thin main()
+ * around this class; tests run it in-process on an ephemeral port).
+ *
+ * One accept loop, one reader thread per connection, one shared
+ * Scheduler worker pool, one shared ProgramCache. Request handling:
+ *
+ *  - simulate: scheduled (non-blocking submit — a full client queue
+ *    answers with a backpressure error), runs through the cache, and
+ *    answers with the full report plus whether the program was warm.
+ *  - sweep: points expand on the reader thread (blocking submits, so
+ *    a huge grid stalls only its own client), each point streams one
+ *    row line in completion order tagged with its dense index, and a
+ *    sweep_end line follows the last row. Rows re-merged by index
+ *    reproduce runLocalSweep's table byte-identically at any worker
+ *    count and in every backend mode.
+ *  - stats: cache + scheduler + server counters, answered inline.
+ *  - shutdown: acknowledged, then the server stops accepting and
+ *    wait() returns after in-flight work drains.
+ *
+ * Responses for one connection are serialized by a per-connection
+ * write mutex, so concurrently finishing sweep rows never interleave
+ * bytes on the wire.
+ */
+
+#ifndef EQ_SERVE_SERVER_HH
+#define EQ_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/cache.hh"
+#include "serve/scheduler.hh"
+#include "sim/engine.hh"
+
+namespace eq {
+namespace serve {
+
+struct ServerOptions {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;     ///< 0 = ephemeral (read back via port())
+    size_t cacheEntries = 0; ///< 0 = ProgramCache::defaultEntries()
+    unsigned workers = 0;  ///< scheduler pool; 0 = EQ_SERVE_WORKERS/hw
+    size_t maxQueuedPerClient = 256; ///< backpressure cap
+    sim::EngineOptions engine;       ///< backend/fusion for every entry
+};
+
+class Server {
+  public:
+    explicit Server(ServerOptions opts = {});
+    ~Server(); ///< shuts down and joins everything
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind + listen + spawn the accept loop. False (with @p err) on
+     *  bind failure. */
+    bool start(std::string *err = nullptr);
+
+    /** The bound port (valid after start()). */
+    uint16_t port() const { return _port; }
+
+    /** Block until shutdown() — typically a client's shutdown
+     *  request — then drain queued work and join all threads. */
+    void wait();
+
+    /** Request shutdown (idempotent, callable from any thread). */
+    void shutdown();
+
+    ProgramCache &cache() { return *_cache; }
+    Scheduler &scheduler() { return *_scheduler; }
+
+    /** Connections accepted over the server's lifetime. */
+    uint64_t connectionsAccepted() const;
+
+  private:
+    struct Conn;
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Conn> conn);
+    void handleLine(const std::shared_ptr<Conn> &conn,
+                    const std::string &line);
+    void handleSimulate(const std::shared_ptr<Conn> &conn, Json request);
+    void handleSweep(const std::shared_ptr<Conn> &conn, Json request);
+    void handleStats(const std::shared_ptr<Conn> &conn,
+                     const Json &request);
+
+    ServerOptions _opts;
+    uint16_t _port = 0;
+    int _listenFd = -1;
+    std::unique_ptr<ProgramCache> _cache;
+    std::unique_ptr<Scheduler> _scheduler;
+
+    struct State;
+    std::unique_ptr<State> _state;
+};
+
+} // namespace serve
+} // namespace eq
+
+#endif // EQ_SERVE_SERVER_HH

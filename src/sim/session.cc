@@ -1,0 +1,35 @@
+#include "sim/session.hh"
+
+#include <cassert>
+#include <chrono>
+
+namespace eq {
+namespace sim {
+
+Session::Session(EngineOptions opts) : _sim(opts)
+{
+    ir::registerAllDialects(_ctx);
+}
+
+void
+Session::rebuild(const BuildFn &build)
+{
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+    _session.reset(); // the session pins the module; drop it first
+    _module = build(_ctx);
+    assert(_module.get() && "Session build function returned no module");
+    _session.emplace(_sim, _module.get());
+    _lastBuildSeconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+SimReport
+Session::run()
+{
+    assert(ready() && "Session::run before rebuild()");
+    return _session->run();
+}
+
+} // namespace sim
+} // namespace eq

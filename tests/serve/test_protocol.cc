@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Wire-protocol building blocks: the Json value type round-trips every
+ * kind bit-exactly (ints stay ints, doubles go through "%.17g", object
+ * member order is preserved — the determinism the byte-identical
+ * served-sweep guarantee rests on), the parser rejects malformed
+ * input, and the ModelKey JSON codec is strict about unknown fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "serve/models.hh"
+#include "serve/protocol.hh"
+
+namespace {
+
+using namespace eq;
+using serve::Json;
+
+Json
+reparse(const Json &v)
+{
+    Json out;
+    std::string err;
+    EXPECT_TRUE(Json::parse(v.dump(), &out, &err)) << err;
+    return out;
+}
+
+TEST(ServeJson, ScalarRoundTrips)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(int64_t(-9007199254740993ll)).dump(),
+              "-9007199254740993");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+
+    Json i = reparse(Json(int64_t(1) << 62));
+    ASSERT_TRUE(i.isInt()); // stays Int, no double round-trip damage
+    EXPECT_EQ(i.asInt(), int64_t(1) << 62);
+}
+
+TEST(ServeJson, DoubleRoundTripsBitExactly)
+{
+    for (double v : {0.1, 1.0 / 3.0, 6.02214076e23, 1e-300,
+                     -123456.789012345678, 0.0}) {
+        Json out = reparse(Json(v));
+        ASSERT_TRUE(out.isNumber());
+        EXPECT_EQ(std::signbit(out.asReal()), std::signbit(v));
+        EXPECT_EQ(out.asReal(), v) << Json(v).dump();
+    }
+    // Non-finite doubles are not JSON: they serialize as null.
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(ServeJson, StringEscapes)
+{
+    Json s(std::string("a\"b\\c\n\t\x01z"));
+    EXPECT_EQ(s.dump(), "\"a\\\"b\\\\c\\n\\t\\u0001z\"");
+    Json out = reparse(s);
+    EXPECT_EQ(out.asStr(), s.asStr());
+
+    // \uXXXX escapes decode to UTF-8.
+    Json u;
+    std::string err;
+    ASSERT_TRUE(Json::parse("\"\\u00e9\\u0041\"", &u, &err)) << err;
+    EXPECT_EQ(u.asStr(), "\xc3\xa9"
+                         "A");
+}
+
+TEST(ServeJson, ObjectOrderPreserved)
+{
+    Json obj = Json::object();
+    obj.set("zebra", 1);
+    obj.set("apple", 2);
+    obj.set("mid", Json::array());
+    EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"apple\":2,\"mid\":[]}");
+    // set() replaces in place without reordering.
+    obj.set("zebra", 9);
+    EXPECT_EQ(obj.dump(), "{\"zebra\":9,\"apple\":2,\"mid\":[]}");
+
+    Json out = reparse(obj);
+    EXPECT_EQ(out.dump(), obj.dump());
+    ASSERT_NE(out.find("apple"), nullptr);
+    EXPECT_EQ(out.find("apple")->asInt(), 2);
+    EXPECT_EQ(out.find("missing"), nullptr);
+    EXPECT_EQ(out.getInt("zebra", -1), 9);
+    EXPECT_EQ(out.getInt("nope", -1), -1);
+}
+
+TEST(ServeJson, ParseRejectsMalformedInput)
+{
+    Json out;
+    std::string err;
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\q\"",
+          "{\"a\" 1}", "nullx", "[1, 2", "\"unterminated"}) {
+        EXPECT_FALSE(Json::parse(bad, &out, &err))
+            << "accepted: " << bad;
+        EXPECT_FALSE(err.empty());
+    }
+    // Surrounding whitespace is fine.
+    EXPECT_TRUE(Json::parse("  [1,2,3]\n", &out, &err)) << err;
+    ASSERT_TRUE(out.isArray());
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_EQ(out.at(2).asInt(), 3);
+}
+
+TEST(ServeJson, ResponseSkeletons)
+{
+    Json id(7);
+    Json ok = serve::makeResponse(&id, "report");
+    EXPECT_EQ(ok.getInt("id", -1), 7);
+    EXPECT_TRUE(ok.getBool("ok", false));
+    EXPECT_EQ(ok.getStr("type", ""), "report");
+
+    Json err = serve::makeError(nullptr, "boom");
+    EXPECT_FALSE(err.getBool("ok", true));
+    EXPECT_EQ(err.getStr("error", ""), "boom");
+}
+
+TEST(ServeModels, ModelKeyJsonRoundTrip)
+{
+    for (serve::ModelKind kind :
+         {serve::ModelKind::Systolic, serve::ModelKind::Soc,
+          serve::ModelKind::Pipeline}) {
+        serve::ModelKey key = serve::defaultKey(kind);
+        Json cfg = serve::modelKeyToJson(key);
+        serve::ModelKey back;
+        std::string err;
+        ASSERT_TRUE(serve::modelKeyFromJson(kind, cfg, &back, &err))
+            << err;
+        EXPECT_TRUE(back == key) << serve::modelName(kind);
+        EXPECT_EQ(back.hash(), key.hash());
+    }
+}
+
+TEST(ServeModels, ModelKeyJsonOverridesFields)
+{
+    Json cfg = Json::object();
+    cfg.set("ah", 8);
+    cfg.set("df", "OS");
+    serve::ModelKey key;
+    std::string err;
+    ASSERT_TRUE(serve::modelKeyFromJson(serve::ModelKind::Systolic, cfg,
+                                        &key, &err))
+        << err;
+    EXPECT_EQ(key.systolic.ah, 8);
+    EXPECT_EQ(key.systolic.dataflow, scalesim::Dataflow::OS);
+    // Untouched fields keep the family defaults.
+    EXPECT_EQ(key.systolic.aw,
+              serve::defaultKey(serve::ModelKind::Systolic).systolic.aw);
+}
+
+TEST(ServeModels, ModelKeyJsonRejectsUnknownFields)
+{
+    Json cfg = Json::object();
+    cfg.set("ahh", 8); // typo must not silently simulate the default
+    serve::ModelKey key;
+    std::string err;
+    EXPECT_FALSE(serve::modelKeyFromJson(serve::ModelKind::Systolic,
+                                         cfg, &key, &err));
+    EXPECT_NE(err.find("ahh"), std::string::npos) << err;
+}
+
+TEST(ServeModels, ApplyAxisChangesKeyIdentity)
+{
+    serve::ModelKey a = serve::defaultKey(serve::ModelKind::Systolic);
+    serve::ModelKey b = a;
+    std::string err;
+    ASSERT_TRUE(serve::applyAxis(&b, "ah", 8, &err)) << err;
+    EXPECT_TRUE(a != b);
+    EXPECT_NE(a.hash(), b.hash());
+
+    EXPECT_FALSE(serve::applyAxis(&b, "bogus_axis", 1, &err));
+    EXPECT_NE(err.find("bogus_axis"), std::string::npos) << err;
+}
+
+} // namespace

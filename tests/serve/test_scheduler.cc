@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Scheduler semantics: per-client round-robin (a flooding client
+ * cannot starve a light one), bounded per-client queues (non-blocking
+ * submits reject at the cap; blocking submits wait for space), drain
+ * on stop, and Stopped after stop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/scheduler.hh"
+
+namespace {
+
+using namespace eq;
+using serve::Scheduler;
+
+/** Holds the (single) worker hostage until release() so tests can
+ *  stage queue contents deterministically. */
+struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool open = false;
+    bool entered = false;
+
+    Scheduler::Job
+    job()
+    {
+        return [this] {
+            std::unique_lock<std::mutex> lk(mu);
+            entered = true;
+            cv.notify_all();
+            cv.wait(lk, [this] { return open; });
+        };
+    }
+
+    void
+    awaitEntered()
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [this] { return entered; });
+    }
+
+    void
+    release()
+    {
+        std::lock_guard<std::mutex> g(mu);
+        open = true;
+        cv.notify_all();
+    }
+};
+
+TEST(ServeScheduler, RoundRobinInterleavesClients)
+{
+    Scheduler::Options opts;
+    opts.workers = 1;
+    Scheduler sched(opts);
+
+    Gate gate;
+    ASSERT_EQ(sched.submit(99, gate.job()), Scheduler::Submit::Queued);
+    gate.awaitEntered(); // worker is now busy; queue order is ours
+
+    std::mutex mu;
+    std::vector<std::string> order;
+    auto record = [&](const char *tag) {
+        return [&, tag] {
+            std::lock_guard<std::mutex> g(mu);
+            order.push_back(tag);
+        };
+    };
+    // Client 1 floods three jobs before client 2's single job arrives.
+    sched.submit(1, record("1a"));
+    sched.submit(1, record("1b"));
+    sched.submit(1, record("1c"));
+    sched.submit(2, record("2a"));
+
+    gate.release();
+    sched.stop(); // drains
+
+    // One job per client turn: client 2 runs after one client-1 job,
+    // not after the whole flood.
+    std::vector<std::string> expect = {"1a", "2a", "1b", "1c"};
+    EXPECT_EQ(order, expect);
+    EXPECT_EQ(sched.stats().executed, 5u);
+    EXPECT_EQ(sched.stats().queued, 0u);
+}
+
+TEST(ServeScheduler, BackpressureRejectsAtCapAndBlocksForSpace)
+{
+    Scheduler::Options opts;
+    opts.workers = 1;
+    opts.maxQueuedPerClient = 2;
+    Scheduler sched(opts);
+
+    Gate gate;
+    ASSERT_EQ(sched.submit(7, gate.job()), Scheduler::Submit::Queued);
+    gate.awaitEntered();
+
+    std::atomic<int> ran{0};
+    auto bump = [&] { ++ran; };
+    // Other clients' queues fill independently of client 7's.
+    EXPECT_EQ(sched.submit(8, bump), Scheduler::Submit::Queued);
+    EXPECT_EQ(sched.submit(8, bump), Scheduler::Submit::Queued);
+    EXPECT_EQ(sched.submit(8, bump), Scheduler::Submit::Rejected);
+    EXPECT_EQ(sched.submit(9, bump), Scheduler::Submit::Queued);
+    EXPECT_EQ(sched.stats().rejected, 1u);
+
+    // A blocking submit parks until the worker frees a slot.
+    auto blocked = std::async(std::launch::async, [&] {
+        return sched.submit(8, bump, /*block=*/true);
+    });
+    EXPECT_EQ(blocked.wait_for(std::chrono::milliseconds(50)),
+              std::future_status::timeout);
+    gate.release();
+    EXPECT_EQ(blocked.get(), Scheduler::Submit::Queued);
+
+    sched.stop();
+    EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ServeScheduler, StopDrainsThenRefuses)
+{
+    Scheduler::Options opts;
+    opts.workers = 2;
+    Scheduler sched(opts);
+
+    std::atomic<int> ran{0};
+    const int kJobs = 32;
+    for (int i = 0; i < kJobs; ++i)
+        ASSERT_EQ(sched.submit(i % 3, [&] { ++ran; }),
+                  Scheduler::Submit::Queued);
+    sched.stop();
+    EXPECT_EQ(ran.load(), kJobs); // every accepted job ran
+    EXPECT_EQ(sched.stats().executed, uint64_t(kJobs));
+
+    EXPECT_EQ(sched.submit(1, [&] { ++ran; }),
+              Scheduler::Submit::Stopped);
+    EXPECT_EQ(ran.load(), kJobs);
+}
+
+TEST(ServeScheduler, WorkerCountResolution)
+{
+    Scheduler::Options opts;
+    opts.workers = 3;
+    Scheduler sched(opts);
+    EXPECT_EQ(sched.workers(), 3u);
+}
+
+} // namespace

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * End-to-end service tests against an in-process Server on an
+ * ephemeral port: simulate answers with correct cache-warmth bits and
+ * deterministic reports, served sweeps re-merge byte-identically to
+ * the in-process SweepRunner at several worker counts, stats expose
+ * cross-request reuse, protocol errors answer without killing the
+ * connection, and concurrent clients get deterministic answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hh"
+#include "serve/models.hh"
+#include "serve/server.hh"
+
+namespace {
+
+using namespace eq;
+using serve::Client;
+using serve::Json;
+using serve::Server;
+using serve::ServerOptions;
+
+/** Start an in-process server (ephemeral port) or fail the test. */
+std::unique_ptr<Server>
+startServer(unsigned workers = 2)
+{
+    ServerOptions opts;
+    opts.workers = workers;
+    auto server = std::make_unique<Server>(opts);
+    std::string err;
+    EXPECT_TRUE(server->start(&err)) << err;
+    return server;
+}
+
+void
+connectTo(const Server &server, Client *client)
+{
+    std::string err;
+    ASSERT_TRUE(client->connect("127.0.0.1", server.port(), &err))
+        << err;
+}
+
+/** The report body minus wall_s — the deterministic part. */
+std::string
+deterministicPart(const Json &report)
+{
+    Json out = Json::object();
+    for (const auto &member : report.members())
+        if (member.first != "wall_s")
+            out.set(member.first, member.second);
+    return out.dump();
+}
+
+serve::SweepSpec
+twoAxisSpec()
+{
+    serve::SweepSpec spec;
+    spec.base = serve::defaultKey(serve::ModelKind::Systolic);
+    spec.axes.push_back({"ah", {2, 4}});
+    spec.axes.push_back({"aw", {2, 4, 8}});
+    return spec;
+}
+
+TEST(ServeServer, SimulateColdThenWarm)
+{
+    auto server = startServer();
+    Client client;
+    connectTo(*server, &client);
+
+    serve::ModelKey key = serve::defaultKey(serve::ModelKind::Systolic);
+    auto cold = client.simulate(key);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_FALSE(cold.cached);
+    EXPECT_GT(cold.report.getInt("cycles", 0), 0);
+
+    auto warm = client.simulate(key);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_TRUE(warm.cached);
+    EXPECT_EQ(deterministicPart(warm.report),
+              deterministicPart(cold.report));
+
+    // A different config is cold again.
+    serve::ModelKey other = key;
+    other.systolic.ah = 8;
+    auto cold2 = client.simulate(other);
+    ASSERT_TRUE(cold2.ok) << cold2.error;
+    EXPECT_FALSE(cold2.cached);
+}
+
+TEST(ServeServer, ServedSweepMatchesLocalAtAnyWorkerCount)
+{
+    serve::SweepSpec spec = twoAxisSpec();
+    const std::string localCsv = serve::runLocalSweep(spec).csv();
+
+    for (unsigned workers : {1u, 3u}) {
+        auto server = startServer(workers);
+        Client client;
+        connectTo(*server, &client);
+        sweep::Table served(spec.schema());
+        std::string err;
+        ASSERT_TRUE(client.sweepTable(spec, &served, &err))
+            << "workers=" << workers << ": " << err;
+        EXPECT_EQ(served.csv(), localCsv) << "workers=" << workers;
+    }
+}
+
+TEST(ServeServer, ServedSocSweepMatchesLocal)
+{
+    serve::SweepSpec spec;
+    spec.base = serve::defaultKey(serve::ModelKind::Soc);
+    spec.axes.push_back({"tiles", {1, 2}});
+    spec.axes.push_back({"bus_bw", {8, 16}});
+
+    auto server = startServer(2);
+    Client client;
+    connectTo(*server, &client);
+    sweep::Table served(spec.schema());
+    std::string err;
+    ASSERT_TRUE(client.sweepTable(spec, &served, &err)) << err;
+    EXPECT_EQ(served.csv(), serve::runLocalSweep(spec).csv());
+}
+
+TEST(ServeServer, StatsExposeCrossRequestReuse)
+{
+    auto server = startServer();
+    Client a;
+    connectTo(*server, &a);
+    Client b;
+    connectTo(*server, &b);
+
+    serve::ModelKey key = serve::defaultKey(serve::ModelKind::Systolic);
+    ASSERT_TRUE(a.simulate(key).ok);
+    ASSERT_TRUE(b.simulate(key).ok); // second client reuses a's program
+
+    Json stats;
+    std::string err;
+    ASSERT_TRUE(a.stats(&stats, &err)) << err;
+    const Json *cache = stats.find("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->getInt("misses", -1), 1);
+    EXPECT_EQ(cache->getInt("hits", -1), 1);
+    EXPECT_EQ(cache->getInt("runs", -1), 2);
+    const Json *srv = stats.find("server");
+    ASSERT_NE(srv, nullptr);
+    EXPECT_EQ(srv->getInt("connections", -1), 2);
+}
+
+TEST(ServeServer, ProtocolErrorsKeepConnectionAlive)
+{
+    auto server = startServer();
+    Client client;
+    connectTo(*server, &client);
+
+    Json bad = Json::object();
+    bad.set("op", "simulate");
+    bad.set("model", "warpdrive");
+    Json resp;
+    std::string err;
+    ASSERT_TRUE(client.roundTrip(bad, &resp, &err)) << err;
+    EXPECT_FALSE(resp.getBool("ok", true));
+    EXPECT_NE(resp.getStr("error", "").find("model"), std::string::npos);
+
+    Json typo = Json::object();
+    typo.set("op", "simulate");
+    typo.set("model", "systolic");
+    Json cfg = Json::object();
+    cfg.set("ahh", 4);
+    typo.set("config", cfg);
+    ASSERT_TRUE(client.roundTrip(typo, &resp, &err)) << err;
+    EXPECT_FALSE(resp.getBool("ok", true));
+
+    Json unknown = Json::object();
+    unknown.set("op", "frobnicate");
+    unknown.set("id", 17);
+    ASSERT_TRUE(client.roundTrip(unknown, &resp, &err)) << err;
+    EXPECT_FALSE(resp.getBool("ok", true));
+    EXPECT_EQ(resp.getInt("id", -1), 17);
+
+    // The connection survives all of it.
+    auto good =
+        client.simulate(serve::defaultKey(serve::ModelKind::Systolic));
+    EXPECT_TRUE(good.ok) << good.error;
+}
+
+TEST(ServeServer, ConcurrentClientsGetDeterministicAnswers)
+{
+    auto server = startServer(3);
+    std::vector<serve::ModelKey> keys;
+    for (int ah : {2, 4})
+        for (int aw : {2, 4}) {
+            serve::ModelKey key =
+                serve::defaultKey(serve::ModelKind::Systolic);
+            key.systolic.ah = ah;
+            key.systolic.aw = aw;
+            keys.push_back(key);
+        }
+
+    // Reference answers over one warm-up connection.
+    std::vector<std::string> expect;
+    {
+        Client ref;
+        connectTo(*server, &ref);
+        for (const auto &key : keys) {
+            auto result = ref.simulate(key);
+            ASSERT_TRUE(result.ok) << result.error;
+            expect.push_back(deterministicPart(result.report));
+        }
+    }
+
+    const int kClients = 4, kIters = 3;
+    std::vector<int> failures(kClients, 0);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            Client client;
+            connectTo(*server, &client);
+            for (int i = 0; i < kIters; ++i)
+                for (size_t k = 0; k < keys.size(); ++k) {
+                    auto result = client.simulate(keys[(k + c) % 4]);
+                    if (!result.ok ||
+                        deterministicPart(result.report) !=
+                            expect[(k + c) % 4])
+                        ++failures[c];
+                }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (int c = 0; c < kClients; ++c)
+        EXPECT_EQ(failures[c], 0) << "client " << c;
+
+    // Every config compiled exactly once across all clients.
+    Client statsClient;
+    connectTo(*server, &statsClient);
+    Json stats;
+    std::string err;
+    ASSERT_TRUE(statsClient.stats(&stats, &err)) << err;
+    EXPECT_EQ(stats.find("cache")->getInt("misses", -1),
+              int64_t(keys.size()));
+}
+
+TEST(ServeServer, ShutdownRequestStopsServer)
+{
+    auto server = startServer();
+    Client client;
+    connectTo(*server, &client);
+    ASSERT_TRUE(client.simulate(serve::defaultKey(
+                                    serve::ModelKind::Systolic))
+                    .ok);
+    std::string err;
+    ASSERT_TRUE(client.shutdownServer(&err)) << err;
+    server->wait(); // returns: the request really stopped the server
+
+    // New connections are refused after shutdown.
+    Client late;
+    EXPECT_FALSE(late.connect("127.0.0.1", server->port(), &err));
+}
+
+} // namespace
