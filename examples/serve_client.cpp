@@ -17,7 +17,10 @@
  *   serve_client --connect 127.0.0.1:7070 --stats
  *   serve_client --connect 127.0.0.1:7070 --shutdown
  * `--local` runs the same spec in-process instead (the reference the
- * served table must match byte-for-byte).
+ * served table must match byte-for-byte). `--retries N` turns on the
+ * client's bounded retry/backoff (used by the chaos harness to prove
+ * a sweep recovers byte-identically through injected faults), and
+ * `--deadline MS` attaches a deadline_ms to each request.
  */
 
 #include <cstdio>
@@ -44,7 +47,9 @@ struct Args {
     bool shutdown = false;
     std::string model = "systolic";
     std::vector<serve::SweepAxis> axes;
-    std::string csvPath; ///< empty = stdout
+    std::string csvPath;      ///< empty = stdout
+    int retries = 1;          ///< RetryPolicy.maxAttempts
+    long deadlineMs = -1;     ///< per-request deadline_ms; -1 = none
 };
 
 bool
@@ -218,6 +223,22 @@ main(int argc, char **argv)
             args.axes.push_back(std::move(axis));
         } else if (arg == "--csv") {
             args.csvPath = value();
+        } else if (arg == "--retries") {
+            char *end = nullptr;
+            long n = std::strtol(value(), &end, 10);
+            if (end == argv[i] || *end != '\0' || n < 1) {
+                std::fprintf(stderr, "serve_client: bad --retries\n");
+                return 2;
+            }
+            args.retries = static_cast<int>(n);
+        } else if (arg == "--deadline") {
+            char *end = nullptr;
+            long n = std::strtol(value(), &end, 10);
+            if (end == argv[i] || *end != '\0' || n < 0) {
+                std::fprintf(stderr, "serve_client: bad --deadline\n");
+                return 2;
+            }
+            args.deadlineMs = n;
         } else {
             std::fprintf(stderr, "serve_client: unknown option '%s'\n",
                          arg.c_str());
@@ -261,13 +282,18 @@ main(int argc, char **argv)
         return 2;
     }
     serve::Client client;
+    if (args.retries > 1) {
+        serve::RetryPolicy policy;
+        policy.maxAttempts = args.retries;
+        client.setRetryPolicy(policy);
+    }
     if (!client.connect(host, port, &err)) {
         std::fprintf(stderr, "serve_client: %s\n", err.c_str());
         return 1;
     }
 
     if (args.simulate) {
-        auto result = client.simulate(spec.base);
+        auto result = client.simulate(spec.base, args.deadlineMs);
         if (!result.ok) {
             std::fprintf(stderr, "serve_client: %s\n",
                          result.error.c_str());
@@ -277,7 +303,7 @@ main(int argc, char **argv)
     }
     if (!args.axes.empty()) {
         sweep::Table table(spec.schema());
-        if (!client.sweepTable(spec, &table, &err)) {
+        if (!client.sweepTable(spec, &table, &err, args.deadlineMs)) {
             std::fprintf(stderr, "serve_client: %s\n", err.c_str());
             return 1;
         }

@@ -124,13 +124,18 @@ def check_simulate_and_stats(port):
     if without_wall(warm["report"]) != without_wall(cold["report"]):
         fail("warm report differs from cold report")
 
-    # Protocol errors answer ok=false and keep the connection alive.
+    # Protocol errors answer with the structured taxonomy and keep the
+    # connection alive.
     bad = conn.request({"op": "simulate", "model": "systolic",
                         "config": {"ahh": 4}})
-    if bad.get("ok") or "ahh" not in bad.get("error", ""):
+    bad_err = bad.get("error") or {}
+    if bad.get("ok") or bad_err.get("code") != "bad_request" \
+            or "ahh" not in bad_err.get("message", ""):
         fail(f"typo config not rejected: {bad}")
     unknown = conn.request({"op": "frobnicate", "id": 9})
-    if unknown.get("ok") or unknown.get("id") != 9:
+    unknown_err = unknown.get("error") or {}
+    if unknown.get("ok") or unknown.get("id") != 9 \
+            or unknown_err.get("code") != "bad_request":
         fail(f"unknown op mishandled: {unknown}")
 
     stats = conn.request({"op": "stats", "id": 3})

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "serve/faults.hh"
+
 namespace eq {
 namespace serve {
 
@@ -122,8 +124,16 @@ ProgramCache::Handle::run()
     std::lock_guard<std::mutex> g(_entry->mu);
     if (!_entry->built) {
         const ModelKey &key = _entry->key;
-        _entry->session.rebuild(
-            [&](ir::Context &ctx) { return key.build(ctx); });
+        // The fault seam sits inside the build function, so an
+        // injected failure propagates through Session::rebuild exactly
+        // like a real one. The entry stays un-built (rebuild resets
+        // its state before rethrowing), so the next handle retries
+        // the compile from scratch.
+        _entry->session.rebuild([&](ir::Context &ctx) {
+            if (FaultInjector::buildFault())
+                throw BuildError("injected program build failure");
+            return key.build(ctx);
+        });
         _entry->built = true;
     }
     sim::SimReport report = _entry->session.run();

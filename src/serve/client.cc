@@ -1,7 +1,10 @@
 #include "serve/client.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -11,6 +14,19 @@
 
 namespace eq {
 namespace serve {
+
+namespace {
+
+uint64_t
+xorshift64(uint64_t &s)
+{
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+}
+
+} // namespace
 
 Client::~Client()
 {
@@ -31,6 +47,8 @@ bool
 Client::connect(const std::string &host, uint16_t port, std::string *err)
 {
     close();
+    _host = host;
+    _port = port;
     auto fail = [&](const std::string &msg) {
         if (err)
             *err = msg + ": " + std::strerror(errno);
@@ -54,6 +72,42 @@ Client::connect(const std::string &host, uint16_t port, std::string *err)
     ::setsockopt(_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     _reader = std::make_unique<LineReader>(_fd);
     return true;
+}
+
+bool
+Client::reconnect(std::string *err)
+{
+    if (_host.empty()) {
+        if (err)
+            *err = "not connected";
+        return false;
+    }
+    return connect(_host, _port, err);
+}
+
+void
+Client::backoff(int attempt, int64_t retry_after_ms)
+{
+    if (_rng == 0)
+        _rng = _policy.seed ? _policy.seed : 1;
+    int64_t base = _policy.baseDelayMs > 0 ? _policy.baseDelayMs : 1;
+    int64_t cap = _policy.maxDelayMs > 0 ? _policy.maxDelayMs : base;
+    int64_t delay = base;
+    for (int i = 1; i < attempt && delay < cap; ++i)
+        delay *= 2;
+    if (delay > cap)
+        delay = cap;
+    // Jitter the top half so a fleet of retrying clients desynchronizes
+    // while the floor keeps every wait meaningful. Deterministic: the
+    // stream depends only on the policy seed and the retry count.
+    int64_t half = delay / 2;
+    delay = half + static_cast<int64_t>(
+                       xorshift64(_rng) %
+                       static_cast<uint64_t>(half + 1));
+    if (retry_after_ms > delay)
+        delay = retry_after_ms; // the server knows its queue better
+    ++_retries;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
 }
 
 bool
@@ -97,34 +151,56 @@ Client::roundTrip(const Json &request, Json *response, std::string *err)
 }
 
 Client::SimulateResult
-Client::simulate(const ModelKey &key)
+Client::simulate(const ModelKey &key, int64_t deadline_ms)
 {
+    const int attempts = _policy.maxAttempts > 0 ? _policy.maxAttempts : 1;
     SimulateResult result;
-    Json request = Json::object();
-    request.set("op", "simulate");
-    request.set("id", _nextId++);
-    request.set("model", modelName(key.kind));
-    request.set("config", modelKeyToJson(key));
-    Json response;
-    std::string err;
-    if (!roundTrip(request, &response, &err)) {
-        result.error = err;
-        return result;
+    for (int attempt = 1;; ++attempt) {
+        result = SimulateResult();
+        std::string err;
+        int64_t hint = -1;
+        // Transport failures (refused connect, dropped or torn
+        // response) are always retryable: results are byte
+        // deterministic, so re-asking cannot change the answer.
+        bool retryable = true;
+        if (connected() || reconnect(&err)) {
+            Json request = Json::object();
+            request.set("op", "simulate");
+            request.set("id", _nextId++);
+            request.set("model", modelName(key.kind));
+            request.set("config", modelKeyToJson(key));
+            if (deadline_ms >= 0)
+                request.set("deadline_ms", deadline_ms);
+            Json response;
+            if (roundTrip(request, &response, &err)) {
+                if (response.getBool("ok", false)) {
+                    result.ok = true;
+                    result.cached = response.getBool("cached", false);
+                    if (const Json *report = response.find("report"))
+                        result.report = *report;
+                    return result;
+                }
+                ErrorInfo info = parseError(response);
+                result.code = info.code;
+                result.error = info.message;
+                hint = info.retryAfterMs;
+                retryable = errorCodeRetryable(info.code);
+            } else {
+                result.error = err;
+                close(); // broken transport; reconnect on retry
+            }
+        } else {
+            result.error = err;
+        }
+        if (!retryable || attempt >= attempts)
+            return result;
+        backoff(attempt, hint);
     }
-    if (!response.getBool("ok", false)) {
-        result.error = response.getStr("error", "server error");
-        return result;
-    }
-    result.ok = true;
-    result.cached = response.getBool("cached", false);
-    if (const Json *report = response.find("report"))
-        result.report = *report;
-    return result;
 }
 
 bool
 Client::sweepTable(const SweepSpec &spec, sweep::Table *out,
-                   std::string *err)
+                   std::string *err, int64_t deadline_ms)
 {
     std::string verr;
     if (!spec.validate(&verr)) {
@@ -132,23 +208,68 @@ Client::sweepTable(const SweepSpec &spec, sweep::Table *out,
             *err = verr;
         return false;
     }
-    Json request = spec.toJson();
-    request.set("id", _nextId++);
-    if (!sendRequest(request, err))
-        return false;
+    const int attempts = _policy.maxAttempts > 0 ? _policy.maxAttempts : 1;
+    for (int attempt = 1;; ++attempt) {
+        std::string aerr;
+        ErrorInfo info;
+        if (sweepTableOnce(spec, out, &aerr, deadline_ms, &info))
+            return true;
+        const bool retryable = info.code == ErrorCode::None
+                                   ? true // transport-class failure
+                                   : errorCodeRetryable(info.code);
+        if (!retryable || attempt >= attempts) {
+            if (err)
+                *err = aerr;
+            return false;
+        }
+        // Always tear the connection down before retrying a sweep:
+        // rows of the aborted stream may still be in flight and would
+        // otherwise interleave with the fresh attempt's stream.
+        close();
+        backoff(attempt, info.retryAfterMs);
+    }
+}
 
-    Json begin;
-    if (!readResponse(&begin, err))
-        return false;
-    if (!begin.getBool("ok", false)) {
+bool
+Client::sweepTableOnce(const SweepSpec &spec, sweep::Table *out,
+                       std::string *err, int64_t deadline_ms,
+                       ErrorInfo *info)
+{
+    *info = ErrorInfo(); // code None = transport-class failure
+    std::string cerr;
+    if (!connected() && !reconnect(&cerr)) {
         if (err)
-            *err = begin.getStr("error", "server error");
+            *err = cerr;
         return false;
     }
+    Json request = spec.toJson();
+    request.set("id", _nextId++);
+    if (deadline_ms >= 0)
+        request.set("deadline_ms", deadline_ms);
+    if (!sendRequest(request, err)) {
+        close();
+        return false;
+    }
+
+    auto serverError = [&](const Json &msg) {
+        *info = parseError(msg);
+        if (err)
+            *err = info->message;
+        return false;
+    };
+
+    Json begin;
+    if (!readResponse(&begin, err)) {
+        close();
+        return false;
+    }
+    if (!begin.getBool("ok", false))
+        return serverError(begin);
     if (begin.getStr("type", "") != "sweep_begin") {
         if (err)
             *err = "expected sweep_begin, got '" +
                    begin.getStr("type", "") + "'";
+        close();
         return false;
     }
     const std::vector<sweep::Column> schema = spec.schema();
@@ -162,13 +283,12 @@ Client::sweepTable(const SweepSpec &spec, sweep::Table *out,
     size_t received = 0;
     for (;;) {
         Json msg;
-        if (!readResponse(&msg, err))
-            return false;
-        if (!msg.getBool("ok", false)) {
-            if (err)
-                *err = msg.getStr("error", "server error");
+        if (!readResponse(&msg, err)) {
+            close();
             return false;
         }
+        if (!msg.getBool("ok", false))
+            return serverError(msg);
         const std::string type = msg.getStr("type", "");
         if (type == "sweep_end")
             break;
@@ -176,6 +296,7 @@ Client::sweepTable(const SweepSpec &spec, sweep::Table *out,
             if (err)
                 *err = "unexpected message type '" + type +
                        "' inside sweep stream";
+            close();
             return false;
         }
         const size_t index =
@@ -185,11 +306,13 @@ Client::sweepTable(const SweepSpec &spec, sweep::Table *out,
             cells->size() != schema.size()) {
             if (err)
                 *err = "malformed row line";
+            close();
             return false;
         }
         if (seen[index]) {
             if (err)
                 *err = "duplicate row index " + std::to_string(index);
+            close();
             return false;
         }
         seen[index] = true;
@@ -216,6 +339,7 @@ Client::sweepTable(const SweepSpec &spec, sweep::Table *out,
         if (err)
             *err = "sweep_end after " + std::to_string(received) +
                    " of " + std::to_string(points) + " rows";
+        close();
         return false;
     }
 
@@ -229,24 +353,47 @@ Client::sweepTable(const SweepSpec &spec, sweep::Table *out,
 bool
 Client::stats(Json *out, std::string *err)
 {
-    Json request = Json::object();
-    request.set("op", "stats");
-    request.set("id", _nextId++);
-    Json response;
-    if (!roundTrip(request, &response, err))
-        return false;
-    if (!response.getBool("ok", false)) {
-        if (err)
-            *err = response.getStr("error", "server error");
-        return false;
+    const int attempts = _policy.maxAttempts > 0 ? _policy.maxAttempts : 1;
+    for (int attempt = 1;; ++attempt) {
+        std::string aerr;
+        int64_t hint = -1;
+        bool retryable = true;
+        std::string cerr;
+        if (connected() || reconnect(&cerr)) {
+            Json request = Json::object();
+            request.set("op", "stats");
+            request.set("id", _nextId++);
+            Json response;
+            if (roundTrip(request, &response, &aerr)) {
+                if (response.getBool("ok", false)) {
+                    *out = std::move(response);
+                    return true;
+                }
+                ErrorInfo info = parseError(response);
+                aerr = info.message;
+                hint = info.retryAfterMs;
+                retryable = errorCodeRetryable(info.code);
+            } else {
+                close();
+            }
+        } else {
+            aerr = cerr;
+        }
+        if (!retryable || attempt >= attempts) {
+            if (err)
+                *err = aerr;
+            return false;
+        }
+        backoff(attempt, hint);
     }
-    *out = std::move(response);
-    return true;
 }
 
 bool
 Client::shutdownServer(std::string *err)
 {
+    // Deliberately never retried: a lost ack usually means the server
+    // is already gone, and re-sending against a restarted instance
+    // would shut down the wrong process.
     Json request = Json::object();
     request.set("op", "shutdown");
     request.set("id", _nextId++);
@@ -255,7 +402,7 @@ Client::shutdownServer(std::string *err)
         return false;
     if (!response.getBool("ok", false)) {
         if (err)
-            *err = response.getStr("error", "server error");
+            *err = parseError(response).message;
         return false;
     }
     return true;

@@ -10,6 +10,18 @@
  * spec, at any server worker count. Not thread-safe: use one Client
  * per thread (each opens its own connection, which is also what gives
  * the server's per-client fairness its meaning).
+ *
+ * Retry/backoff: with a RetryPolicy installed (maxAttempts > 1) the
+ * typed requests retry transparently on transport failures (connect
+ * refused, connection dropped or torn mid-response) and on structured
+ * errors the taxonomy marks retryable (backpressure, build_failed,
+ * internal), sleeping an exponentially growing, deterministically
+ * jittered delay between attempts — and at least the server's
+ * retry_after_ms hint when one is present. Retrying verbatim is safe
+ * by construction: served results are byte-deterministic, so a
+ * repeated simulate/sweep is idempotent. A failed sweep always
+ * reconnects before retrying (stale rows of the aborted stream could
+ * otherwise interleave with the new one).
  */
 
 #ifndef EQ_SERVE_CLIENT_HH
@@ -26,6 +38,16 @@
 namespace eq {
 namespace serve {
 
+/** Bounded-retry knobs. maxAttempts counts every try including the
+ *  first; 1 disables retrying. Delays are deterministic for a given
+ *  seed (jitter comes from a seeded xorshift, not wall clock). */
+struct RetryPolicy {
+    int maxAttempts = 1;
+    int baseDelayMs = 10;
+    int maxDelayMs = 1000;
+    uint64_t seed = 1;
+};
+
 class Client {
   public:
     Client() = default;
@@ -34,27 +56,37 @@ class Client {
     Client(const Client &) = delete;
     Client &operator=(const Client &) = delete;
 
-    /** Connect to @p host:@p port. False (with @p err) on failure. */
+    /** Connect to @p host:@p port. False (with @p err) on failure.
+     *  The address is remembered for retry reconnects. */
     bool connect(const std::string &host, uint16_t port,
                  std::string *err = nullptr);
     bool connected() const { return _fd >= 0; }
     void close();
 
+    void setRetryPolicy(const RetryPolicy &policy) { _policy = policy; }
+    const RetryPolicy &retryPolicy() const { return _policy; }
+    /** Retries performed (sleeps taken) over this client's lifetime. */
+    uint64_t retriesPerformed() const { return _retries; }
+
     struct SimulateResult {
         bool ok = false;
-        std::string error; ///< set when !ok
+        ErrorCode code = ErrorCode::None; ///< taxonomy code when !ok
+        std::string error;                ///< message when !ok
         bool cached = false; ///< program was warm in the server cache
         Json report;         ///< reportToJson shape
     };
 
-    /** Simulate one configuration (round-trips ModelKey as JSON). */
-    SimulateResult simulate(const ModelKey &key);
+    /** Simulate one configuration (round-trips ModelKey as JSON).
+     *  @p deadline_ms < 0 sends no deadline. */
+    SimulateResult simulate(const ModelKey &key,
+                            int64_t deadline_ms = -1);
 
     /** Run @p spec on the server and re-merge the streamed rows (by
      *  dense point index) into a table with spec.schema(). False on
      *  protocol or server error. */
     bool sweepTable(const SweepSpec &spec, sweep::Table *out,
-                    std::string *err = nullptr);
+                    std::string *err = nullptr,
+                    int64_t deadline_ms = -1);
 
     /** Server/cache/scheduler counters. False on error. */
     bool stats(Json *out, std::string *err = nullptr);
@@ -64,17 +96,29 @@ class Client {
 
     /** Send one raw request line and read one raw response line —
      *  protocol-level escape hatch (used by the smoke script's
-     *  scripted checks and the protocol tests). */
+     *  scripted checks and the protocol tests). Never retries. */
     bool roundTrip(const Json &request, Json *response,
                    std::string *err = nullptr);
 
   private:
     bool sendRequest(const Json &request, std::string *err);
     bool readResponse(Json *response, std::string *err);
+    bool reconnect(std::string *err);
+    /** Sleep before attempt @p attempt (1-based retry count), honoring
+     *  @p retry_after_ms when the server sent a hint. */
+    void backoff(int attempt, int64_t retry_after_ms);
+    bool sweepTableOnce(const SweepSpec &spec, sweep::Table *out,
+                        std::string *err, int64_t deadline_ms,
+                        ErrorInfo *info);
 
     int _fd = -1;
     uint64_t _nextId = 1;
     std::unique_ptr<LineReader> _reader;
+    std::string _host;
+    uint16_t _port = 0;
+    RetryPolicy _policy;
+    uint64_t _rng = 0;
+    uint64_t _retries = 0;
 };
 
 } // namespace serve

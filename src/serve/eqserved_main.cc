@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "serve/faults.hh"
 #include "serve/server.hh"
 
 using namespace eq;
@@ -41,6 +42,13 @@ usage(const char *argv0)
         "  --workers N          scheduler worker threads\n"
         "                       (default $EQ_SERVE_WORKERS or hw)\n"
         "  --max-queue N        per-client queued-job cap (default 256)\n"
+        "  --max-queue-total N  pool-wide queued-job cap; excess\n"
+        "                       requests are shed (default unlimited)\n"
+        "  --max-line N         request-line byte cap\n"
+        "                       (default $EQ_SERVE_MAX_LINE or 8 MiB)\n"
+        "  --faults SPEC        deterministic fault injection, e.g.\n"
+        "                       torn=0.1,drop=0.05,werr=0.2,max=20:42\n"
+        "                       (default $EQ_SERVE_FAULTS; testing only)\n"
         "  --backend MODE       auto|interp|compiled (default auto,\n"
         "                       which resolves $EQ_SIM_BACKEND)\n"
         "  --fuse MODE          auto|on|off (default auto, which\n"
@@ -66,6 +74,10 @@ main(int argc, char **argv)
 {
     serve::ServerOptions opts;
     std::string portFile;
+    std::string faultSpec;
+    bool faultsFromFlag = false;
+    if (const char *env = std::getenv("EQ_SERVE_FAULTS"))
+        faultSpec = env;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -106,6 +118,22 @@ main(int argc, char **argv)
                 return 2;
             }
             opts.maxQueuedPerClient = static_cast<size_t>(n);
+        } else if (arg == "--max-queue-total") {
+            if (!parseNum(value(), &n) || n < 1) {
+                std::fprintf(stderr,
+                             "eqserved: bad --max-queue-total\n");
+                return 2;
+            }
+            opts.maxQueuedTotal = static_cast<size_t>(n);
+        } else if (arg == "--max-line") {
+            if (!parseNum(value(), &n) || n < 1) {
+                std::fprintf(stderr, "eqserved: bad --max-line\n");
+                return 2;
+            }
+            opts.maxLineBytes = static_cast<size_t>(n);
+        } else if (arg == "--faults") {
+            faultSpec = value();
+            faultsFromFlag = true;
         } else if (arg == "--backend") {
             const std::string mode = value();
             if (mode == "auto")
@@ -143,6 +171,16 @@ main(int argc, char **argv)
         }
     }
 
+    if (!faultSpec.empty()) {
+        std::string ferr;
+        if (!serve::FaultInjector::configureFromText(faultSpec, &ferr)) {
+            std::fprintf(stderr, "eqserved: bad %s: %s\n",
+                         faultsFromFlag ? "--faults" : "EQ_SERVE_FAULTS",
+                         ferr.c_str());
+            return 2;
+        }
+    }
+
     serve::Server server(opts);
     std::string err;
     if (!server.start(&err)) {
@@ -168,6 +206,9 @@ main(int argc, char **argv)
                 opts.host.c_str(), unsigned(server.port()),
                 server.cache().stats().capacity,
                 server.scheduler().workers());
+    if (serve::FaultInjector::enabled())
+        std::printf("eqserved: FAULT INJECTION ACTIVE (%s)\n",
+                    serve::FaultInjector::describe().c_str());
     std::fflush(stdout);
 
     g_server = &server;

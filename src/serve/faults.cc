@@ -1,0 +1,268 @@
+#include "serve/faults.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace eq {
+namespace serve {
+
+namespace {
+
+/** The installed plan. Decision points take a shared_ptr snapshot
+ *  under the mutex (cheap, and reconfiguration mid-flight — a test
+ *  pattern — can never free state under a racing check); the common
+ *  disabled case is one relaxed atomic load, no lock. */
+struct Plan {
+    FaultInjector::Spec spec;
+    std::atomic<uint64_t> draws{0};    ///< decision stream position
+    std::atomic<uint64_t> injected{0}; ///< against spec.maxFaults
+    std::atomic<uint64_t> torn{0};
+    std::atomic<uint64_t> drops{0};
+    std::atomic<uint64_t> workerFaults{0};
+    std::atomic<uint64_t> buildFaults{0};
+    std::atomic<uint64_t> stalls{0};
+};
+
+std::atomic<bool> g_enabled{false};
+std::mutex g_mu;
+std::shared_ptr<Plan> g_plan; // guarded by g_mu
+
+std::shared_ptr<Plan>
+currentPlan()
+{
+    if (!g_enabled.load(std::memory_order_relaxed))
+        return nullptr;
+    std::lock_guard<std::mutex> g(g_mu);
+    return g_plan;
+}
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** One seeded decision: true with probability @p prob, drawn from the
+ *  plan's shared stream, and only while budget remains. */
+bool
+draw(Plan &plan, double prob, uint64_t site)
+{
+    if (prob <= 0.0)
+        return false;
+    uint64_t n = plan.draws.fetch_add(1, std::memory_order_relaxed);
+    uint64_t bits =
+        splitmix64(plan.spec.seed ^ (site * 0x9e3779b97f4a7c15ull) ^ n);
+    double u = double(bits >> 11) * (1.0 / 9007199254740992.0);
+    if (u >= prob)
+        return false;
+    // Charge the budget; back out when it is already spent.
+    uint64_t used = plan.injected.load(std::memory_order_relaxed);
+    do {
+        if (used >= plan.spec.maxFaults)
+            return false;
+    } while (!plan.injected.compare_exchange_weak(used, used + 1));
+    return true;
+}
+
+} // namespace
+
+bool
+FaultInjector::parseSpec(const std::string &text, Spec *out,
+                         std::string *err)
+{
+    Spec spec;
+    std::string body = text;
+    // An optional ":<seed>" suffix (digits only, so probabilities
+    // like "0.5" are never mistaken for it).
+    size_t colon = body.rfind(':');
+    if (colon != std::string::npos) {
+        std::string tail = body.substr(colon + 1);
+        if (!tail.empty() &&
+            tail.find_first_not_of("0123456789") == std::string::npos) {
+            spec.seed = std::strtoull(tail.c_str(), nullptr, 10);
+            body = body.substr(0, colon);
+        }
+    }
+    size_t start = 0;
+    while (start < body.size()) {
+        size_t comma = body.find(',', start);
+        std::string item = body.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        start = comma == std::string::npos ? body.size() : comma + 1;
+        if (item.empty())
+            continue;
+        size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            if (err)
+                *err = "fault spec item '" + item +
+                       "' is not name=value";
+            return false;
+        }
+        std::string name = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+        char *end = nullptr;
+        if (name == "stall_ms" || name == "max") {
+            long long n = std::strtoll(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0' || n < 0) {
+                if (err)
+                    *err = "fault spec '" + name +
+                           "' needs a non-negative integer";
+                return false;
+            }
+            if (name == "stall_ms")
+                spec.stallMs = static_cast<int>(n);
+            else
+                spec.maxFaults = static_cast<uint64_t>(n);
+            continue;
+        }
+        double p = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+            if (err)
+                *err = "fault spec '" + name +
+                       "' needs a probability in [0,1]";
+            return false;
+        }
+        if (name == "torn")
+            spec.torn = p;
+        else if (name == "drop")
+            spec.drop = p;
+        else if (name == "werr")
+            spec.workerFault = p;
+        else if (name == "build")
+            spec.buildFault = p;
+        else if (name == "stall")
+            spec.stall = p;
+        else {
+            if (err)
+                *err = "unknown fault kind '" + name + "'";
+            return false;
+        }
+    }
+    *out = spec;
+    return true;
+}
+
+void
+FaultInjector::configure(const Spec &spec)
+{
+    auto plan = std::make_shared<Plan>();
+    plan->spec = spec;
+    std::lock_guard<std::mutex> g(g_mu);
+    g_plan = std::move(plan);
+    g_enabled.store(true, std::memory_order_relaxed);
+}
+
+bool
+FaultInjector::configureFromText(const std::string &text,
+                                 std::string *err)
+{
+    Spec spec;
+    if (!parseSpec(text, &spec, err))
+        return false;
+    configure(spec);
+    return true;
+}
+
+void
+FaultInjector::disable()
+{
+    std::lock_guard<std::mutex> g(g_mu);
+    g_enabled.store(false, std::memory_order_relaxed);
+    g_plan.reset();
+}
+
+bool
+FaultInjector::enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+FaultInjector::Stats
+FaultInjector::stats()
+{
+    Stats s;
+    auto plan = currentPlan();
+    if (!plan)
+        return s;
+    s.torn = plan->torn.load();
+    s.drops = plan->drops.load();
+    s.workerFaults = plan->workerFaults.load();
+    s.buildFaults = plan->buildFaults.load();
+    s.stalls = plan->stalls.load();
+    s.injected = plan->injected.load();
+    return s;
+}
+
+std::string
+FaultInjector::describe()
+{
+    auto plan = currentPlan();
+    if (!plan)
+        return "";
+    const Spec &s = plan->spec;
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "torn=%g drop=%g werr=%g build=%g stall=%g "
+                  "stall_ms=%d max=%llu seed=%llu",
+                  s.torn, s.drop, s.workerFault, s.buildFault, s.stall,
+                  s.stallMs,
+                  static_cast<unsigned long long>(s.maxFaults),
+                  static_cast<unsigned long long>(s.seed));
+    return buf;
+}
+
+FaultInjector::SendAction
+FaultInjector::onSend()
+{
+    auto plan = currentPlan();
+    if (!plan)
+        return SendAction::None;
+    if (draw(*plan, plan->spec.torn, 1)) {
+        ++plan->torn;
+        return SendAction::Torn;
+    }
+    if (draw(*plan, plan->spec.drop, 2)) {
+        ++plan->drops;
+        return SendAction::Drop;
+    }
+    return SendAction::None;
+}
+
+bool
+FaultInjector::workerFault()
+{
+    auto plan = currentPlan();
+    if (!plan || !draw(*plan, plan->spec.workerFault, 3))
+        return false;
+    ++plan->workerFaults;
+    return true;
+}
+
+bool
+FaultInjector::buildFault()
+{
+    auto plan = currentPlan();
+    if (!plan || !draw(*plan, plan->spec.buildFault, 4))
+        return false;
+    ++plan->buildFaults;
+    return true;
+}
+
+int
+FaultInjector::stallMs()
+{
+    auto plan = currentPlan();
+    if (!plan || !draw(*plan, plan->spec.stall, 5))
+        return 0;
+    ++plan->stalls;
+    return plan->spec.stallMs;
+}
+
+} // namespace serve
+} // namespace eq

@@ -422,6 +422,75 @@ Json::parse(const std::string &text, Json *out, std::string *err)
 }
 
 // ---------------------------------------------------------------------------
+// Error taxonomy
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::None: return "none";
+    case ErrorCode::MalformedRequest: return "malformed_request";
+    case ErrorCode::FrameTooLarge: return "frame_too_large";
+    case ErrorCode::BadRequest: return "bad_request";
+    case ErrorCode::Backpressure: return "backpressure";
+    case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::Cancelled: return "cancelled";
+    case ErrorCode::BuildFailed: return "build_failed";
+    case ErrorCode::Internal: return "internal";
+    case ErrorCode::ShuttingDown: return "shutting_down";
+    case ErrorCode::Unknown: return "unknown";
+    }
+    return "unknown";
+}
+
+bool
+errorCodeFromName(const std::string &name, ErrorCode *out)
+{
+    for (ErrorCode code :
+         {ErrorCode::MalformedRequest, ErrorCode::FrameTooLarge,
+          ErrorCode::BadRequest, ErrorCode::Backpressure,
+          ErrorCode::DeadlineExceeded, ErrorCode::Cancelled,
+          ErrorCode::BuildFailed, ErrorCode::Internal,
+          ErrorCode::ShuttingDown}) {
+        if (name == errorCodeName(code)) {
+            *out = code;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+errorCodeRetryable(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::Backpressure:
+    case ErrorCode::BuildFailed:
+    case ErrorCode::Internal:
+        return true;
+    default:
+        return false;
+    }
+}
+
+ErrorInfo
+parseError(const Json &response)
+{
+    ErrorInfo info;
+    const Json *error = response.find("error");
+    if (!error || !error->isObject()) {
+        info.code = ErrorCode::Unknown;
+        info.message = "missing error object";
+        return info;
+    }
+    if (!errorCodeFromName(error->getStr("code", ""), &info.code))
+        info.code = ErrorCode::Unknown;
+    info.message = error->getStr("message", "");
+    info.retryAfterMs = error->getInt("retry_after_ms", -1);
+    return info;
+}
+
+// ---------------------------------------------------------------------------
 // Line framing
 
 bool
@@ -430,11 +499,19 @@ LineReader::next(std::string *line)
     for (;;) {
         size_t nl = _buf.find('\n');
         if (nl != std::string::npos) {
+            if (nl > _max) {
+                _overflow = true;
+                return false;
+            }
             *line = _buf.substr(0, nl);
             _buf.erase(0, nl + 1);
             if (!line->empty() && line->back() == '\r')
                 line->pop_back();
             return true;
+        }
+        if (_buf.size() > _max) {
+            _overflow = true;
+            return false;
         }
         if (_eof)
             return false;
@@ -546,12 +623,18 @@ makeResponse(const Json *id, const std::string &type)
 }
 
 Json
-makeError(const Json *id, const std::string &message)
+makeError(const Json *id, ErrorCode code, const std::string &message,
+          int64_t retry_after_ms)
 {
     Json out = Json::object();
     out.set("id", id ? *id : Json());
     out.set("ok", false);
-    out.set("error", message);
+    Json error = Json::object();
+    error.set("code", errorCodeName(code));
+    error.set("message", message);
+    if (retry_after_ms >= 0)
+        error.set("retry_after_ms", retry_after_ms);
+    out.set("error", std::move(error));
     return out;
 }
 

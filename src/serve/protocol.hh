@@ -130,22 +130,80 @@ class Json {
 };
 
 /**
+ * The serving layer's error taxonomy. Every failed request answers
+ * with a structured error object — {"code":<name>,"message":...,
+ * ["retry_after_ms":N]} — never a free-text string, so clients can
+ * branch on the code (retry, surface, give up) without parsing prose.
+ * None/Unknown are client-side values and never appear on the wire.
+ */
+enum class ErrorCode : uint8_t {
+    None,             ///< no error (client-side only)
+    MalformedRequest, ///< line was not a JSON object
+    FrameTooLarge,    ///< line exceeded the reader's byte cap
+    BadRequest,       ///< unknown op/model/config/axis
+    Backpressure,     ///< queue full; retry after retry_after_ms
+    DeadlineExceeded, ///< deadline_ms elapsed before the run started
+    Cancelled,        ///< client connection went away mid-request
+    BuildFailed,      ///< program build failed (retryable)
+    Internal,         ///< worker-side exception (retryable)
+    ShuttingDown,     ///< server is stopping
+    Unknown,          ///< unrecognized wire code (client-side only)
+};
+
+const char *errorCodeName(ErrorCode code);
+/** False (leaving @p out untouched) for names not in the taxonomy. */
+bool errorCodeFromName(const std::string &name, ErrorCode *out);
+/** True for codes a client may retry verbatim: served results are
+ *  byte-deterministic, so re-sending an idempotent request after
+ *  backpressure or a transient worker/build fault is always safe. */
+bool errorCodeRetryable(ErrorCode code);
+
+/** A parsed error response (see parseError). */
+struct ErrorInfo {
+    ErrorCode code = ErrorCode::None;
+    std::string message;
+    int64_t retryAfterMs = -1; ///< server hint; -1 = none
+};
+
+/** Extract the structured error from a response with "ok":false.
+ *  Unknown or missing codes map to ErrorCode::Unknown. */
+ErrorInfo parseError(const Json &response);
+
+/**
  * Blocking newline-framed reads over a socket/pipe fd. Lines are
  * LF-terminated (a trailing CR is stripped so `nc -C` works); the
  * terminator is removed from the returned line.
+ *
+ * Input is capped at @p max_line bytes per line (default 8 MiB): a
+ * peer that streams an endless line cannot grow the buffer — and the
+ * daemon's memory — without bound. An oversized frame ends the
+ * stream; overflowed() tells the caller to answer with a structured
+ * frame_too_large error before closing.
  */
 class LineReader {
   public:
-    explicit LineReader(int fd) : _fd(fd) {}
+    static constexpr size_t kDefaultMaxLine = 8u << 20; // 8 MiB
 
-    /** Read the next complete line. Returns false on EOF or error
-     *  (call again is not meaningful afterwards). */
+    explicit LineReader(int fd, size_t max_line = kDefaultMaxLine)
+        : _fd(fd), _max(max_line ? max_line : kDefaultMaxLine)
+    {
+    }
+
+    /** Read the next complete line. Returns false on EOF, error, or
+     *  an oversized frame (call again is not meaningful afterwards). */
     bool next(std::string *line);
+
+    /** True when the stream ended because a line exceeded the cap. */
+    bool overflowed() const { return _overflow; }
+
+    size_t maxLine() const { return _max; }
 
   private:
     int _fd;
+    size_t _max;
     std::string _buf;
     bool _eof = false;
+    bool _overflow = false;
 };
 
 /** Write @p line plus the LF terminator, looping over partial writes.
@@ -160,9 +218,12 @@ bool writeLine(int fd, const std::string &line);
 Json reportToJson(const sim::SimReport &report, bool include_wall = true);
 
 /** Standard response skeletons ("id" echoed, "ok" set). @p id may be
- *  any client-chosen Json value (servers echo it verbatim). */
+ *  any client-chosen Json value (servers echo it verbatim). Errors
+ *  carry the structured taxonomy object; @p retry_after_ms >= 0 adds
+ *  the backpressure hint. */
 Json makeResponse(const Json *id, const std::string &type);
-Json makeError(const Json *id, const std::string &message);
+Json makeError(const Json *id, ErrorCode code,
+               const std::string &message, int64_t retry_after_ms = -1);
 
 } // namespace serve
 } // namespace eq

@@ -1,6 +1,7 @@
 #include "serve/scheduler.hh"
 
 #include <cstdlib>
+#include <utility>
 
 namespace eq {
 namespace serve {
@@ -39,31 +40,107 @@ Scheduler::~Scheduler()
     stop();
 }
 
-Scheduler::Submit
-Scheduler::submit(uint64_t client, Job job, bool block)
+Scheduler::Outcome
+Scheduler::outcomeFor(const Task &task, Clock::time_point now)
 {
-    std::unique_lock<std::mutex> lk(_mu);
-    for (;;) {
-        if (_stopping)
-            return Submit::Stopped;
-        ClientQueue &q = _clients[client];
-        if (q.jobs.size() < _opts.maxQueuedPerClient) {
-            q.jobs.push_back(std::move(job));
+    if (task.cancel && task.cancel->load(std::memory_order_relaxed))
+        return Outcome::Cancelled;
+    if (task.deadline != Clock::time_point{} && now > task.deadline)
+        return Outcome::Expired;
+    return Outcome::Run;
+}
+
+void
+Scheduler::reapDeadLocked(ClientQueue &q,
+                          std::vector<std::pair<Task, Outcome>> *reaped)
+{
+    const Clock::time_point now = Clock::now();
+    auto it = q.jobs.begin();
+    while (it != q.jobs.end()) {
+        Outcome outcome = outcomeFor(*it, now);
+        if (outcome == Outcome::Run) {
+            ++it;
+            continue;
+        }
+        reaped->emplace_back(std::move(*it), outcome);
+        it = q.jobs.erase(it);
+        --_stats.queued;
+        --_queuedTotal;
+        if (outcome == Outcome::Expired)
+            ++_stats.expired;
+        else
+            ++_stats.cancelled;
+    }
+}
+
+void
+Scheduler::finishReaped(std::vector<std::pair<Task, Outcome>> &reaped)
+{
+    for (auto &dead : reaped)
+        dead.first.job(dead.second);
+    if (!reaped.empty())
+        _space.notify_all();
+    reaped.clear();
+}
+
+Scheduler::Submit
+Scheduler::submit(uint64_t client, Task task, bool block)
+{
+    std::vector<std::pair<Task, Outcome>> reaped;
+    Submit result;
+    {
+        std::unique_lock<std::mutex> lk(_mu);
+        for (;;) {
+            if (_stopping) {
+                result = Submit::Stopped;
+                break;
+            }
+            ClientQueue &q = _clients[client];
+            auto clientFull = [&] {
+                return q.jobs.size() >= _opts.maxQueuedPerClient;
+            };
+            auto poolFull = [&] {
+                return _opts.maxQueuedTotal &&
+                       _queuedTotal >= _opts.maxQueuedTotal;
+            };
+            if (clientFull() || poolFull()) {
+                // Entries that already expired or were cancelled are
+                // dead weight: drop them first and re-check, so a
+                // queue full of dead work cannot wedge its client.
+                reapDeadLocked(q, &reaped);
+            }
+            if (clientFull() || poolFull()) {
+                if (!block) {
+                    // A full pool with a non-full client queue is the
+                    // pool-wide overload case (shed); otherwise the
+                    // client exceeded its own bound.
+                    if (clientFull()) {
+                        ++_stats.rejected;
+                        result = Submit::Rejected;
+                    } else {
+                        ++_stats.shed;
+                        result = Submit::Shed;
+                    }
+                    break;
+                }
+                _space.wait(lk);
+                continue;
+            }
+            q.jobs.push_back(std::move(task));
             if (!q.inRoundRobin) {
                 q.inRoundRobin = true;
                 _rr.push_back(client);
             }
             ++_stats.submitted;
             ++_stats.queued;
+            ++_queuedTotal;
             _work.notify_one();
-            return Submit::Queued;
+            result = Submit::Queued;
+            break;
         }
-        if (!block) {
-            ++_stats.rejected;
-            return Submit::Rejected;
-        }
-        _space.wait(lk);
     }
+    finishReaped(reaped);
+    return result;
 }
 
 void
@@ -81,18 +158,33 @@ Scheduler::workerLoop()
         uint64_t client = _rr.front();
         _rr.pop_front();
         ClientQueue &q = _clients[client];
-        Job job = std::move(q.jobs.front());
+        if (q.jobs.empty()) {
+            // Reaping can empty a queue whose turn marker is still in
+            // the rotation.
+            q.inRoundRobin = false;
+            continue;
+        }
+        Task task = std::move(q.jobs.front());
         q.jobs.pop_front();
         if (q.jobs.empty())
             q.inRoundRobin = false;
         else
             _rr.push_back(client);
         --_stats.queued;
+        --_queuedTotal;
         _space.notify_all();
         lk.unlock();
-        job();
+        // Deadline and cancellation are checked at the last moment
+        // before the work would start: an entry that died in the
+        // queue costs one callback, never a simulation.
+        Outcome outcome = outcomeFor(task, Clock::now());
+        task.job(outcome);
         lk.lock();
-        ++_stats.executed;
+        switch (outcome) {
+        case Outcome::Run: ++_stats.executed; break;
+        case Outcome::Expired: ++_stats.expired; break;
+        case Outcome::Cancelled: ++_stats.cancelled; break;
+        }
     }
 }
 

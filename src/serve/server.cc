@@ -1,10 +1,14 @@
 #include "serve/server.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -15,17 +19,58 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "serve/faults.hh"
+
 namespace eq {
 namespace serve {
 
+namespace {
+
+using Clock = Scheduler::Clock;
+
+bool
+deadlinePassed(Clock::time_point deadline)
+{
+    return deadline != Clock::time_point{} && Clock::now() > deadline;
+}
+
+size_t
+resolveMaxLine(size_t requested)
+{
+    if (requested)
+        return requested;
+    if (const char *env = std::getenv("EQ_SERVE_MAX_LINE")) {
+        char *end = nullptr;
+        long long n = std::strtoll(env, &end, 10);
+        if (end != env && *end == '\0' && n > 0)
+            return static_cast<size_t>(n);
+    }
+    return LineReader::kDefaultMaxLine;
+}
+
+} // namespace
+
 /** One accepted connection. Writes are serialized by `writeMu` so
- *  concurrently finishing jobs never interleave response bytes. */
+ *  concurrently finishing jobs never interleave response bytes. The
+ *  `gone` flag doubles as the scheduler cancel token for everything
+ *  this client queued: the reader flips it on EOF (and send() flips
+ *  it on a dead socket), and workers then skip the client's pending
+ *  points instead of simulating for nobody. */
 struct Server::Conn {
     int fd = -1;
     uint64_t id = 0; ///< scheduler client id
 
     std::mutex writeMu;
     std::atomic<bool> alive{true};
+    std::shared_ptr<std::atomic<bool>> gone =
+        std::make_shared<std::atomic<bool>>(false);
+
+    void
+    markDead()
+    {
+        alive.store(false);
+        gone->store(true);
+    }
 
     bool
     send(const Json &msg)
@@ -33,8 +78,25 @@ struct Server::Conn {
         std::lock_guard<std::mutex> g(writeMu);
         if (!alive.load())
             return false;
+        switch (FaultInjector::onSend()) {
+        case FaultInjector::SendAction::Torn: {
+            // Write half the frame (no terminator), then kill the
+            // socket: the peer sees a truncated line followed by EOF.
+            std::string frame = msg.dump();
+            frame.resize(frame.size() / 2);
+            (void)!::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+            ::shutdown(fd, SHUT_RDWR);
+            markDead();
+            return false;
+        }
+        case FaultInjector::SendAction::Drop:
+            ::shutdown(fd, SHUT_RDWR);
+            markDead();
+            return false;
+        case FaultInjector::SendAction::None: break;
+        }
         if (!writeLine(fd, msg.dump())) {
-            alive.store(false);
+            markDead();
             return false;
         }
         return true;
@@ -55,11 +117,13 @@ struct Server::State {
 Server::Server(ServerOptions opts)
     : _opts(std::move(opts)), _state(std::make_unique<State>())
 {
+    _maxLine = resolveMaxLine(_opts.maxLineBytes);
     _cache = std::make_unique<ProgramCache>(_opts.cacheEntries,
                                             _opts.engine);
     Scheduler::Options sopts;
     sopts.workers = _opts.workers;
     sopts.maxQueuedPerClient = _opts.maxQueuedPerClient;
+    sopts.maxQueuedTotal = _opts.maxQueuedTotal;
     _scheduler = std::make_unique<Scheduler>(sopts);
 }
 
@@ -142,14 +206,40 @@ Server::acceptLoop()
 void
 Server::readerLoop(std::shared_ptr<Conn> conn)
 {
-    LineReader reader(conn->fd);
+    LineReader reader(conn->fd, _maxLine);
     std::string line;
     while (reader.next(&line)) {
         if (line.empty())
             continue;
         handleLine(conn, line);
     }
-    conn->alive.store(false);
+    if (reader.overflowed()) {
+        // The stream cannot be re-synchronized past an oversized
+        // frame: answer with the structured error, then drop the
+        // connection.
+        conn->send(makeError(
+            nullptr, ErrorCode::FrameTooLarge,
+            "request line exceeds " + std::to_string(_maxLine) +
+                " bytes"));
+        // Half-close so a peer draining its receive side sees EOF
+        // right after the error frame instead of hanging until
+        // server teardown closes the fd.
+        ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    // The reader is the liveness authority: once the request stream
+    // ends (EOF, error, oversize), every point this client still has
+    // queued is cancelled so workers stop burning cycles for a dead
+    // socket.
+    conn->markDead();
+}
+
+int64_t
+Server::retryAfterMs() const
+{
+    Scheduler::Stats s = _scheduler->stats();
+    unsigned workers = std::max(1u, _scheduler->workers());
+    int64_t ms = 10 * static_cast<int64_t>(s.queued / workers + 1);
+    return std::min<int64_t>(ms, 2000);
 }
 
 void
@@ -159,16 +249,23 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
     Json request;
     std::string err;
     if (!Json::parse(line, &request, &err) || !request.isObject()) {
-        conn->send(makeError(nullptr, "malformed request: " +
-                                          (err.empty() ? "not an object"
-                                                       : err)));
+        conn->send(makeError(nullptr, ErrorCode::MalformedRequest,
+                             "malformed request: " +
+                                 (err.empty() ? "not an object" : err)));
         return;
     }
+    // An optional relative deadline; the absolute deadline is stamped
+    // here, at receipt, so queueing time counts against it.
+    Clock::time_point deadline{};
+    int64_t deadlineMs = request.getInt("deadline_ms", -1);
+    if (deadlineMs >= 0)
+        deadline = Clock::now() + std::chrono::milliseconds(deadlineMs);
+
     const std::string op = request.getStr("op", "");
     if (op == "simulate") {
-        handleSimulate(conn, std::move(request));
+        handleSimulate(conn, std::move(request), deadline);
     } else if (op == "sweep") {
-        handleSweep(conn, std::move(request));
+        handleSweep(conn, std::move(request), deadline);
     } else if (op == "stats") {
         handleStats(conn, request);
     } else if (op == "shutdown") {
@@ -177,7 +274,8 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
         shutdown();
     } else {
         const Json *id = request.find("id");
-        conn->send(makeError(id, "unknown op '" + op + "'"));
+        conn->send(makeError(id, ErrorCode::BadRequest,
+                             "unknown op '" + op + "'"));
     }
 }
 
@@ -194,49 +292,88 @@ cellToJson(const sweep::Cell &cell)
     return Json();
 }
 
+constexpr const char *kDeadlineMsg =
+    "deadline elapsed before the run started";
+
 } // namespace
 
 void
-Server::handleSimulate(const std::shared_ptr<Conn> &conn, Json request)
+Server::handleSimulate(const std::shared_ptr<Conn> &conn, Json request,
+                       Clock::time_point deadline)
 {
     const Json *idp = request.find("id");
     Json id = idp ? *idp : Json();
     ModelKind kind;
     if (!modelFromName(request.getStr("model", ""), &kind)) {
-        conn->send(makeError(&id, "unknown or missing \"model\""));
+        conn->send(makeError(&id, ErrorCode::BadRequest,
+                             "unknown or missing \"model\""));
         return;
     }
     ModelKey key;
     std::string err;
     const Json *config = request.find("config");
     if (!modelKeyFromJson(kind, config ? *config : Json(), &key, &err)) {
-        conn->send(makeError(&id, err));
+        conn->send(makeError(&id, ErrorCode::BadRequest, err));
         return;
     }
 
-    auto job = [this, conn, id, key]() {
-        auto handle = _cache->acquire(key);
-        bool warm = handle.warm();
-        sim::SimReport report = handle.run();
-        Json resp = makeResponse(&id, "report");
-        resp.set("model", modelName(key.kind));
-        resp.set("cached", warm);
-        resp.set("report", reportToJson(report));
-        conn->send(resp);
+    Scheduler::Task task;
+    task.deadline = deadline;
+    task.cancel = conn->gone;
+    task.job = [this, conn, id, key,
+                deadline](Scheduler::Outcome outcome) {
+        if (outcome == Scheduler::Outcome::Cancelled)
+            return; // nobody left to answer
+        if (outcome == Scheduler::Outcome::Expired) {
+            conn->send(makeError(&id, ErrorCode::DeadlineExceeded,
+                                 kDeadlineMsg));
+            return;
+        }
+        if (int ms = FaultInjector::stallMs())
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        if (deadlinePassed(deadline)) {
+            conn->send(makeError(&id, ErrorCode::DeadlineExceeded,
+                                 kDeadlineMsg));
+            return;
+        }
+        try {
+            if (FaultInjector::workerFault())
+                throw std::runtime_error("injected worker fault");
+            auto handle = _cache->acquire(key);
+            bool warm = handle.warm();
+            sim::SimReport report = handle.run();
+            Json resp = makeResponse(&id, "report");
+            resp.set("model", modelName(key.kind));
+            resp.set("cached", warm);
+            resp.set("report", reportToJson(report));
+            conn->send(resp);
+        } catch (const BuildError &e) {
+            conn->send(
+                makeError(&id, ErrorCode::BuildFailed, e.what()));
+        } catch (const std::exception &e) {
+            conn->send(makeError(&id, ErrorCode::Internal, e.what()));
+        }
     };
-    switch (_scheduler->submit(conn->id, std::move(job))) {
+    switch (_scheduler->submit(conn->id, std::move(task))) {
     case Scheduler::Submit::Queued: break;
     case Scheduler::Submit::Rejected:
-        conn->send(makeError(&id, "backpressure: client queue full"));
+        conn->send(makeError(&id, ErrorCode::Backpressure,
+                             "client queue full", retryAfterMs()));
+        break;
+    case Scheduler::Submit::Shed:
+        conn->send(makeError(&id, ErrorCode::Backpressure,
+                             "server overloaded", retryAfterMs()));
         break;
     case Scheduler::Submit::Stopped:
-        conn->send(makeError(&id, "server shutting down"));
+        conn->send(makeError(&id, ErrorCode::ShuttingDown,
+                             "server shutting down"));
         break;
     }
 }
 
 void
-Server::handleSweep(const std::shared_ptr<Conn> &conn, Json request)
+Server::handleSweep(const std::shared_ptr<Conn> &conn, Json request,
+                    Clock::time_point deadline)
 {
     const Json *idp = request.find("id");
     Json id = idp ? *idp : Json();
@@ -250,18 +387,21 @@ Server::handleSweep(const std::shared_ptr<Conn> &conn, Json request)
         sweep::Grid grid;
         std::vector<sweep::Point> points;
         Json id;
+        Clock::time_point deadline{};
         std::atomic<size_t> remaining{0};
     };
     auto state = std::make_shared<SweepState>();
     if (!SweepSpec::fromJson(request, &state->spec, &err)) {
-        conn->send(makeError(&id, err));
+        conn->send(makeError(&id, ErrorCode::BadRequest, err));
         return;
     }
     state->grid = state->spec.grid();
     state->points = state->grid.points();
     state->id = id;
+    state->deadline = deadline;
     if (state->points.empty()) {
-        conn->send(makeError(&id, "sweep grid has no points"));
+        conn->send(makeError(&id, ErrorCode::BadRequest,
+                             "sweep grid has no points"));
         return;
     }
     state->remaining.store(state->points.size());
@@ -277,30 +417,71 @@ Server::handleSweep(const std::shared_ptr<Conn> &conn, Json request)
         return;
 
     for (size_t i = 0; i < state->points.size(); ++i) {
-        auto job = [this, conn, state, i]() {
-            const sweep::Point &point = state->points[i];
-            ModelKey key = state->spec.keyAt(point);
-            auto handle = _cache->acquire(key);
-            sim::SimReport report = handle.run();
-            Json resp = makeResponse(&state->id, "row");
-            resp.set("index", point.index());
-            Json cells = Json::array();
-            for (const auto &cell : state->spec.row(point, report))
-                cells.push(cellToJson(cell));
-            resp.set("cells", std::move(cells));
-            conn->send(resp);
-            if (state->remaining.fetch_sub(1) == 1) {
-                Json end = makeResponse(&state->id, "sweep_end");
-                end.set("rows", state->points.size());
-                conn->send(end);
+        Scheduler::Task task;
+        task.deadline = deadline;
+        task.cancel = conn->gone;
+        task.job = [this, conn, state, i](Scheduler::Outcome outcome) {
+            // Every outcome decrements `remaining` exactly once, so
+            // sweep_end (or the attempt to send it to a dead socket)
+            // always happens and nothing leaks.
+            auto finish = [&] {
+                if (state->remaining.fetch_sub(1) == 1) {
+                    Json end = makeResponse(&state->id, "sweep_end");
+                    end.set("rows", state->points.size());
+                    conn->send(end);
+                }
+            };
+            if (outcome == Scheduler::Outcome::Cancelled) {
+                finish();
+                return;
             }
+            auto sendPointError = [&](ErrorCode code,
+                                      const std::string &message) {
+                Json resp = makeError(&state->id, code, message);
+                resp.set("index", state->points[i].index());
+                conn->send(resp);
+            };
+            if (outcome == Scheduler::Outcome::Run) {
+                if (int ms = FaultInjector::stallMs())
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(ms));
+                if (deadlinePassed(state->deadline))
+                    outcome = Scheduler::Outcome::Expired;
+            }
+            if (outcome == Scheduler::Outcome::Expired) {
+                sendPointError(ErrorCode::DeadlineExceeded,
+                               kDeadlineMsg);
+                finish();
+                return;
+            }
+            try {
+                if (FaultInjector::workerFault())
+                    throw std::runtime_error("injected worker fault");
+                const sweep::Point &point = state->points[i];
+                ModelKey key = state->spec.keyAt(point);
+                auto handle = _cache->acquire(key);
+                sim::SimReport report = handle.run();
+                Json resp = makeResponse(&state->id, "row");
+                resp.set("index", point.index());
+                Json cells = Json::array();
+                for (const auto &cell : state->spec.row(point, report))
+                    cells.push(cellToJson(cell));
+                resp.set("cells", std::move(cells));
+                conn->send(resp);
+            } catch (const BuildError &e) {
+                sendPointError(ErrorCode::BuildFailed, e.what());
+            } catch (const std::exception &e) {
+                sendPointError(ErrorCode::Internal, e.what());
+            }
+            finish();
         };
         // Blocking submit: a grid larger than the queue cap stalls
         // this client's reader (its own backpressure), not the pool.
-        if (_scheduler->submit(conn->id, std::move(job),
+        if (_scheduler->submit(conn->id, std::move(task),
                                /*block=*/true) !=
             Scheduler::Submit::Queued) {
-            conn->send(makeError(&id, "server shutting down"));
+            conn->send(makeError(&id, ErrorCode::ShuttingDown,
+                                 "server shutting down"));
             return;
         }
     }
@@ -330,7 +511,10 @@ Server::handleStats(const std::shared_ptr<Conn> &conn,
     sched.set("workers", _scheduler->workers());
     sched.set("submitted", ss.submitted);
     sched.set("rejected", ss.rejected);
+    sched.set("shed", ss.shed);
     sched.set("executed", ss.executed);
+    sched.set("expired", ss.expired);
+    sched.set("cancelled", ss.cancelled);
     sched.set("queued", ss.queued);
     resp.set("scheduler", std::move(sched));
 
@@ -344,7 +528,21 @@ Server::handleStats(const std::shared_ptr<Conn> &conn,
                : _opts.engine.backend == sim::Backend::Compiled
                    ? "compiled"
                    : "auto");
+    server.set("max_line_bytes", _maxLine);
     resp.set("server", std::move(server));
+
+    if (FaultInjector::enabled()) {
+        FaultInjector::Stats fs = FaultInjector::stats();
+        Json faults = Json::object();
+        faults.set("spec", FaultInjector::describe());
+        faults.set("torn", fs.torn);
+        faults.set("drops", fs.drops);
+        faults.set("worker_faults", fs.workerFaults);
+        faults.set("build_faults", fs.buildFaults);
+        faults.set("stalls", fs.stalls);
+        faults.set("injected", fs.injected);
+        resp.set("faults", std::move(faults));
+    }
     conn->send(resp);
 }
 
@@ -397,7 +595,7 @@ Server::wait()
         readers.swap(_state->readers);
     }
     for (auto &r : readers) {
-        r.first->alive.store(false);
+        r.first->markDead();
         ::shutdown(r.first->fd, SHUT_RDWR);
     }
     for (auto &r : readers) {

@@ -7,9 +7,10 @@
  * One accept loop, one reader thread per connection, one shared
  * Scheduler worker pool, one shared ProgramCache. Request handling:
  *
- *  - simulate: scheduled (non-blocking submit — a full client queue
- *    answers with a backpressure error), runs through the cache, and
- *    answers with the full report plus whether the program was warm.
+ *  - simulate: scheduled (non-blocking submit — a full queue answers
+ *    with a structured backpressure error carrying a retry_after_ms
+ *    hint), runs through the cache, and answers with the full report
+ *    plus whether the program was warm.
  *  - sweep: points expand on the reader thread (blocking submits, so
  *    a huge grid stalls only its own client), each point streams one
  *    row line in completion order tagged with its dense index, and a
@@ -19,6 +20,23 @@
  *  - stats: cache + scheduler + server counters, answered inline.
  *  - shutdown: acknowledged, then the server stops accepting and
  *    wait() returns after in-flight work drains.
+ *
+ * Operational hardening (see the README's "Operational hardening"):
+ *
+ *  - Every failure answers with the structured ErrorCode taxonomy,
+ *    never free text.
+ *  - Requests may carry "deadline_ms"; queue entries that outlive it
+ *    are dropped by the workers with a deadline_exceeded error
+ *    instead of being simulated.
+ *  - When a client disconnects, its reader marks the connection gone
+ *    and every still-queued point is cancelled — workers stop burning
+ *    cycles for a dead socket.
+ *  - Request lines are capped (maxLineBytes / EQ_SERVE_MAX_LINE,
+ *    default 8 MiB); an endless line answers frame_too_large instead
+ *    of growing the daemon's memory without bound.
+ *  - The FaultInjector seams (torn writes, dropped connections,
+ *    worker faults, stalls, build failures) live in Conn::send and
+ *    the worker jobs; they are no-ops unless a fault plan is active.
  *
  * Responses for one connection are serialized by a per-connection
  * write mutex, so concurrently finishing sweep rows never interleave
@@ -45,11 +63,15 @@ struct ServerOptions {
     size_t cacheEntries = 0; ///< 0 = ProgramCache::defaultEntries()
     unsigned workers = 0;  ///< scheduler pool; 0 = EQ_SERVE_WORKERS/hw
     size_t maxQueuedPerClient = 256; ///< backpressure cap
+    size_t maxQueuedTotal = 0; ///< pool-wide shed cap; 0 = unlimited
+    size_t maxLineBytes = 0; ///< request-line cap; 0 = env or 8 MiB
     sim::EngineOptions engine;       ///< backend/fusion for every entry
 };
 
 class Server {
   public:
+    using Clock = Scheduler::Clock;
+
     explicit Server(ServerOptions opts = {});
     ~Server(); ///< shuts down and joins everything
 
@@ -73,6 +95,9 @@ class Server {
     ProgramCache &cache() { return *_cache; }
     Scheduler &scheduler() { return *_scheduler; }
 
+    /** The resolved request-line byte cap. */
+    size_t maxLineBytes() const { return _maxLine; }
+
     /** Connections accepted over the server's lifetime. */
     uint64_t connectionsAccepted() const;
 
@@ -83,14 +108,21 @@ class Server {
     void readerLoop(std::shared_ptr<Conn> conn);
     void handleLine(const std::shared_ptr<Conn> &conn,
                     const std::string &line);
-    void handleSimulate(const std::shared_ptr<Conn> &conn, Json request);
-    void handleSweep(const std::shared_ptr<Conn> &conn, Json request);
+    void handleSimulate(const std::shared_ptr<Conn> &conn, Json request,
+                        Clock::time_point deadline);
+    void handleSweep(const std::shared_ptr<Conn> &conn, Json request,
+                     Clock::time_point deadline);
     void handleStats(const std::shared_ptr<Conn> &conn,
                      const Json &request);
+
+    /** The retry_after_ms backpressure hint: how long, at the current
+     *  queue depth, a shed client should wait before trying again. */
+    int64_t retryAfterMs() const;
 
     ServerOptions _opts;
     uint16_t _port = 0;
     int _listenFd = -1;
+    size_t _maxLine = 0;
     std::unique_ptr<ProgramCache> _cache;
     std::unique_ptr<Scheduler> _scheduler;
 

@@ -17,7 +17,18 @@ Session::rebuild(const BuildFn &build)
     using clock = std::chrono::steady_clock;
     auto t0 = clock::now();
     _session.reset(); // the session pins the module; drop it first
-    _module = build(_ctx);
+    _module = ir::OwningOpRef();
+    _lastBuildSeconds = 0.0;
+    try {
+        _module = build(_ctx);
+    } catch (...) {
+        // A failed build must leave the session coherently "not
+        // ready" — no stale module, no session pinning it — so a
+        // caller (e.g. the serving layer's ProgramCache) can catch,
+        // report a structured error, and retry the build later.
+        _module = ir::OwningOpRef();
+        throw;
+    }
     assert(_module.get() && "Session build function returned no module");
     _session.emplace(_sim, _module.get());
     _lastBuildSeconds =

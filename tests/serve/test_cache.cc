@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "serve/cache.hh"
+#include "serve/faults.hh"
 #include "serve/protocol.hh"
 
 namespace {
@@ -182,6 +183,28 @@ TEST(ServeCache, HammerCompilesEachConfigOnce)
     EXPECT_EQ(stats.misses, keys.size());
     EXPECT_EQ(stats.hits, uint64_t(kThreads * kIters) - keys.size());
     EXPECT_EQ(stats.runs, uint64_t(kThreads * kIters));
+}
+
+TEST(ServeCache, InjectedBuildFailureLeavesEntryRetryable)
+{
+    ProgramCache cache(4);
+    ModelKey key = systolicKey(2, 2);
+    {
+        serve::FaultInjector::Scoped faults("build=1,max=1");
+        auto handle = cache.acquire(key);
+        EXPECT_FALSE(handle.warm());
+        // The injected failure propagates through Session::rebuild
+        // like a real one.
+        EXPECT_THROW(handle.run(), serve::BuildError);
+        EXPECT_EQ(serve::FaultInjector::stats().buildFaults, 1u);
+    }
+    // The entry was left coherently un-built, not poisoned: the next
+    // handle retries the compile from scratch and runs.
+    auto again = cache.acquire(key);
+    sim::SimReport report = again.run();
+    EXPECT_GT(report.cycles, 0);
+    // The failed first run never counted as a cache run.
+    EXPECT_EQ(cache.stats().runs, 1u);
 }
 
 TEST(ServeCache, DefaultEntriesReadsEnv)

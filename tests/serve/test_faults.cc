@@ -1,0 +1,140 @@
+/**
+ * @file
+ * FaultInjector semantics: the spec grammar parses (and rejects)
+ * correctly, the disabled injector is a strict no-op, a seeded plan
+ * replays the same decision sequence, and the max= budget makes the
+ * injector quiescent — the property the chaos harness's convergence
+ * guarantee rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/faults.hh"
+
+namespace {
+
+using namespace eq;
+using serve::FaultInjector;
+
+TEST(ServeFaults, SpecParsesFieldsAndSeed)
+{
+    FaultInjector::Spec spec;
+    std::string err;
+    ASSERT_TRUE(FaultInjector::parseSpec(
+        "torn=0.1,drop=0.05,werr=0.25,build=0.2,stall=0.5,"
+        "stall_ms=30,max=16:42",
+        &spec, &err))
+        << err;
+    EXPECT_DOUBLE_EQ(spec.torn, 0.1);
+    EXPECT_DOUBLE_EQ(spec.drop, 0.05);
+    EXPECT_DOUBLE_EQ(spec.workerFault, 0.25);
+    EXPECT_DOUBLE_EQ(spec.buildFault, 0.2);
+    EXPECT_DOUBLE_EQ(spec.stall, 0.5);
+    EXPECT_EQ(spec.stallMs, 30);
+    EXPECT_EQ(spec.maxFaults, 16u);
+    EXPECT_EQ(spec.seed, 42u);
+
+    // Defaults when omitted.
+    FaultInjector::Spec bare;
+    ASSERT_TRUE(FaultInjector::parseSpec("werr=1", &bare, &err)) << err;
+    EXPECT_DOUBLE_EQ(bare.workerFault, 1.0);
+    EXPECT_DOUBLE_EQ(bare.torn, 0.0);
+    EXPECT_EQ(bare.stallMs, 10);
+    EXPECT_EQ(bare.maxFaults, UINT64_MAX);
+    EXPECT_EQ(bare.seed, 1u);
+}
+
+TEST(ServeFaults, SpecRejectsMalformedInput)
+{
+    FaultInjector::Spec spec;
+    std::string err;
+    for (const char *bad :
+         {"frobnicate=0.5", "torn=1.5", "torn=-0.1", "torn=abc",
+          "max=-3", "stall_ms=xyz", "torn", "=0.5",
+          "stall_ms=5:notdigits"}) {
+        err.clear();
+        EXPECT_FALSE(FaultInjector::parseSpec(bad, &spec, &err))
+            << "accepted: " << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(ServeFaults, DisabledInjectorIsANoOp)
+{
+    FaultInjector::disable();
+    EXPECT_FALSE(FaultInjector::enabled());
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(FaultInjector::onSend(),
+                  FaultInjector::SendAction::None);
+        EXPECT_FALSE(FaultInjector::workerFault());
+        EXPECT_FALSE(FaultInjector::buildFault());
+        EXPECT_EQ(FaultInjector::stallMs(), 0);
+    }
+    EXPECT_EQ(FaultInjector::stats().injected, 0u);
+    EXPECT_EQ(FaultInjector::describe(), "");
+}
+
+TEST(ServeFaults, SeededPlanReplaysIdentically)
+{
+    auto sample = [] {
+        std::vector<int> decisions;
+        for (int i = 0; i < 200; ++i) {
+            decisions.push_back(
+                static_cast<int>(FaultInjector::onSend()));
+            decisions.push_back(FaultInjector::workerFault() ? 1 : 0);
+            decisions.push_back(FaultInjector::stallMs());
+        }
+        return decisions;
+    };
+    std::vector<int> first, second, otherSeed;
+    {
+        FaultInjector::Scoped f("torn=0.2,drop=0.1,werr=0.3,stall=0.2:7");
+        first = sample();
+    }
+    {
+        FaultInjector::Scoped f("torn=0.2,drop=0.1,werr=0.3,stall=0.2:7");
+        second = sample();
+    }
+    {
+        FaultInjector::Scoped f("torn=0.2,drop=0.1,werr=0.3,stall=0.2:8");
+        otherSeed = sample();
+    }
+    EXPECT_EQ(first, second); // same seed, same serial order => replay
+    EXPECT_NE(first, otherSeed);
+    // And the probabilities actually fire somewhere in 200 rounds.
+    EXPECT_NE(first, std::vector<int>(first.size(), 0));
+}
+
+TEST(ServeFaults, BudgetMakesInjectorQuiescent)
+{
+    FaultInjector::Scoped f("werr=1,max=3");
+    int fired = 0;
+    for (int i = 0; i < 50; ++i)
+        if (FaultInjector::workerFault())
+            ++fired;
+    EXPECT_EQ(fired, 3); // p=1.0 but the budget caps injections
+    EXPECT_EQ(FaultInjector::stats().injected, 3u);
+    EXPECT_EQ(FaultInjector::stats().workerFaults, 3u);
+
+    // The budget is shared across fault kinds.
+    EXPECT_EQ(FaultInjector::onSend(), FaultInjector::SendAction::None);
+    EXPECT_FALSE(FaultInjector::buildFault());
+    EXPECT_EQ(FaultInjector::stallMs(), 0);
+}
+
+TEST(ServeFaults, ScopedRestoresDisabledState)
+{
+    {
+        FaultInjector::Scoped f("drop=1,max=1");
+        EXPECT_TRUE(FaultInjector::enabled());
+        EXPECT_EQ(FaultInjector::onSend(),
+                  FaultInjector::SendAction::Drop);
+    }
+    EXPECT_FALSE(FaultInjector::enabled());
+    EXPECT_EQ(FaultInjector::onSend(), FaultInjector::SendAction::None);
+}
+
+} // namespace

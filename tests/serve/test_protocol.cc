@@ -10,7 +10,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <string>
+
+#include <unistd.h>
 
 #include "serve/models.hh"
 #include "serve/protocol.hh"
@@ -120,9 +124,237 @@ TEST(ServeJson, ResponseSkeletons)
     EXPECT_TRUE(ok.getBool("ok", false));
     EXPECT_EQ(ok.getStr("type", ""), "report");
 
-    Json err = serve::makeError(nullptr, "boom");
+    Json err =
+        serve::makeError(nullptr, serve::ErrorCode::BadRequest, "boom");
     EXPECT_FALSE(err.getBool("ok", true));
-    EXPECT_EQ(err.getStr("error", ""), "boom");
+    serve::ErrorInfo info = serve::parseError(err);
+    EXPECT_EQ(info.code, serve::ErrorCode::BadRequest);
+    EXPECT_EQ(info.message, "boom");
+    EXPECT_EQ(info.retryAfterMs, -1);
+
+    Json busy = serve::makeError(&id, serve::ErrorCode::Backpressure,
+                                 "queue full", /*retry_after_ms=*/25);
+    EXPECT_EQ(busy.getInt("id", -1), 7);
+    info = serve::parseError(busy);
+    EXPECT_EQ(info.code, serve::ErrorCode::Backpressure);
+    EXPECT_EQ(info.retryAfterMs, 25);
+}
+
+TEST(ServeProtocol, ErrorCodeNamesRoundTrip)
+{
+    using serve::ErrorCode;
+    for (ErrorCode code :
+         {ErrorCode::MalformedRequest, ErrorCode::FrameTooLarge,
+          ErrorCode::BadRequest, ErrorCode::Backpressure,
+          ErrorCode::DeadlineExceeded, ErrorCode::Cancelled,
+          ErrorCode::BuildFailed, ErrorCode::Internal,
+          ErrorCode::ShuttingDown}) {
+        ErrorCode back = ErrorCode::None;
+        ASSERT_TRUE(
+            serve::errorCodeFromName(serve::errorCodeName(code), &back))
+            << serve::errorCodeName(code);
+        EXPECT_EQ(back, code);
+    }
+    // Client-side-only values never parse off the wire.
+    ErrorCode out = ErrorCode::None;
+    EXPECT_FALSE(serve::errorCodeFromName("none", &out));
+    EXPECT_FALSE(serve::errorCodeFromName("unknown", &out));
+    EXPECT_FALSE(serve::errorCodeFromName("bogus", &out));
+
+    // Retryability: only transient server-side conditions.
+    EXPECT_TRUE(serve::errorCodeRetryable(ErrorCode::Backpressure));
+    EXPECT_TRUE(serve::errorCodeRetryable(ErrorCode::BuildFailed));
+    EXPECT_TRUE(serve::errorCodeRetryable(ErrorCode::Internal));
+    EXPECT_FALSE(serve::errorCodeRetryable(ErrorCode::BadRequest));
+    EXPECT_FALSE(serve::errorCodeRetryable(ErrorCode::DeadlineExceeded));
+    EXPECT_FALSE(serve::errorCodeRetryable(ErrorCode::FrameTooLarge));
+
+    // Legacy free-text errors parse as Unknown, never crash.
+    Json legacy = Json::object();
+    legacy.set("ok", false);
+    legacy.set("error", "something went wrong");
+    EXPECT_EQ(serve::parseError(legacy).code, serve::ErrorCode::Unknown);
+}
+
+TEST(ServeLineReader, CapsOversizedLines)
+{
+    // A terminated line beyond the cap ends the stream with the
+    // overflow bit — after shorter lines were delivered normally.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::string payload =
+        "hello\n" + std::string(64, 'x') + "\n";
+    ASSERT_EQ(::write(fds[1], payload.data(), payload.size()),
+              ssize_t(payload.size()));
+    ::close(fds[1]);
+    serve::LineReader reader(fds[0], /*max_line=*/16);
+    EXPECT_EQ(reader.maxLine(), 16u);
+    std::string line;
+    ASSERT_TRUE(reader.next(&line));
+    EXPECT_EQ(line, "hello");
+    EXPECT_FALSE(reader.next(&line));
+    EXPECT_TRUE(reader.overflowed());
+    ::close(fds[0]);
+
+    // An endless unterminated line overflows too — the reader must not
+    // buffer until EOF.
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::string endless(64, 'y'); // no newline
+    ASSERT_EQ(::write(fds[1], endless.data(), endless.size()),
+              ssize_t(endless.size()));
+    serve::LineReader reader2(fds[0], /*max_line=*/16);
+    EXPECT_FALSE(reader2.next(&line)); // write end still open!
+    EXPECT_TRUE(reader2.overflowed());
+    ::close(fds[1]);
+    ::close(fds[0]);
+
+    // At or under the cap is fine, including the unterminated tail.
+    ASSERT_EQ(::pipe(fds), 0);
+    const std::string tail = "ab\ncd";
+    ASSERT_EQ(::write(fds[1], tail.data(), tail.size()),
+              ssize_t(tail.size()));
+    ::close(fds[1]);
+    serve::LineReader reader3(fds[0], /*max_line=*/16);
+    ASSERT_TRUE(reader3.next(&line));
+    EXPECT_EQ(line, "ab");
+    ASSERT_TRUE(reader3.next(&line));
+    EXPECT_EQ(line, "cd");
+    EXPECT_FALSE(reader3.next(&line));
+    EXPECT_FALSE(reader3.overflowed());
+    ::close(fds[0]);
+}
+
+// -- seeded mutation/fuzz property test for the strict parser ---------
+
+uint64_t
+fuzzRnd(uint64_t &s)
+{
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+}
+
+Json
+randomJson(uint64_t &s, int depth)
+{
+    switch (fuzzRnd(s) % (depth > 0 ? 7 : 5)) {
+    case 0: return Json();
+    case 1: return Json(bool(fuzzRnd(s) & 1));
+    case 2: return Json(static_cast<int64_t>(fuzzRnd(s)));
+    case 3:
+        return Json(static_cast<double>(
+                        static_cast<int64_t>(fuzzRnd(s))) *
+                    1e-3);
+    case 4: {
+        std::string str;
+        size_t n = fuzzRnd(s) % 9;
+        for (size_t i = 0; i < n; ++i) {
+            switch (fuzzRnd(s) % 8) {
+            case 0: str += '"'; break;
+            case 1: str += '\\'; break;
+            case 2: str += '\n'; break;
+            case 3: str += '\x01'; break;
+            default:
+                str += static_cast<char>(' ' + fuzzRnd(s) % 95);
+            }
+        }
+        return Json(std::move(str));
+    }
+    case 5: {
+        Json arr = Json::array();
+        size_t n = fuzzRnd(s) % 4;
+        for (size_t i = 0; i < n; ++i)
+            arr.push(randomJson(s, depth - 1));
+        return arr;
+    }
+    default: {
+        Json obj = Json::object();
+        size_t n = fuzzRnd(s) % 4;
+        for (size_t i = 0; i < n; ++i)
+            obj.set("k" + std::to_string(fuzzRnd(s) % 8),
+                    randomJson(s, depth - 1));
+        return obj;
+    }
+    }
+}
+
+TEST(ServeJsonFuzz, GeneratedDocumentsRoundTripExactly)
+{
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+    for (int round = 0; round < 300; ++round) {
+        Json doc = randomJson(seed, 4);
+        const std::string text = doc.dump();
+        Json back;
+        std::string err;
+        ASSERT_TRUE(Json::parse(text, &back, &err))
+            << text << ": " << err;
+        EXPECT_EQ(back.dump(), text);
+    }
+}
+
+TEST(ServeJsonFuzz, MutatedDocumentsNeverCrashAndStayCanonical)
+{
+    // Seeded byte-level mutations of valid documents: the parser must
+    // never crash, and anything it *does* accept must reach a stable
+    // canonical form after one dump (dump -> parse -> dump is the
+    // identity on dumps).
+    std::string charset = "{}[],:\"0123456789eE+-.truefalsn x";
+    charset += '\\';
+    charset.push_back('\0'); // embedded NUL: reject, don't truncate
+    uint64_t seed = 0x2545f4914f6cdd1dull;
+    int accepted = 0, rejected = 0;
+    for (int round = 0; round < 150; ++round) {
+        std::string text = randomJson(seed, 3).dump();
+        for (int mut = 0; mut < 8; ++mut) {
+            std::string mutated = text;
+            const int edits = 1 + int(fuzzRnd(seed) % 3);
+            for (int e = 0; e < edits; ++e) {
+                const char c =
+                    charset[fuzzRnd(seed) % charset.size()];
+                const size_t pos =
+                    mutated.empty() ? 0
+                                    : fuzzRnd(seed) % mutated.size();
+                switch (fuzzRnd(seed) % 3) {
+                case 0:
+                    if (!mutated.empty())
+                        mutated[pos] = c;
+                    break;
+                case 1: mutated.insert(pos, 1, c); break;
+                default:
+                    if (!mutated.empty())
+                        mutated.erase(pos, 1);
+                    break;
+                }
+            }
+            Json out;
+            std::string err;
+            if (!Json::parse(mutated, &out, &err)) {
+                EXPECT_FALSE(err.empty()) << mutated;
+                ++rejected;
+                continue;
+            }
+            ++accepted;
+            const std::string canon = out.dump();
+            Json again;
+            ASSERT_TRUE(Json::parse(canon, &again, &err))
+                << canon << ": " << err;
+            EXPECT_EQ(again.dump(), canon) << "from: " << mutated;
+        }
+    }
+    // The mutation engine must exercise both sides of the parser.
+    EXPECT_GT(accepted, 0);
+    EXPECT_GT(rejected, 0);
+}
+
+TEST(ServeJsonFuzz, DeepNestingIsRejectedNotOverflowed)
+{
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    Json out;
+    std::string err;
+    EXPECT_FALSE(Json::parse(deep, &out, &err));
+    EXPECT_NE(err.find("deep"), std::string::npos) << err;
 }
 
 TEST(ServeModels, ModelKeyJsonRoundTrip)

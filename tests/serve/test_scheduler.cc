@@ -3,14 +3,18 @@
  * Scheduler semantics: per-client round-robin (a flooding client
  * cannot starve a light one), bounded per-client queues (non-blocking
  * submits reject at the cap; blocking submits wait for space), drain
- * on stop, and Stopped after stop.
+ * on stop, Stopped after stop — plus the hardening layer: deadlines
+ * expire queued work, cancel tokens drop it, the pool-wide cap sheds,
+ * and submitting over a queue full of dead entries reaps them.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -31,7 +35,7 @@ struct Gate {
     bool open = false;
     bool entered = false;
 
-    Scheduler::Job
+    std::function<void()>
     job()
     {
         return [this] {
@@ -152,6 +156,134 @@ TEST(ServeScheduler, WorkerCountResolution)
     opts.workers = 3;
     Scheduler sched(opts);
     EXPECT_EQ(sched.workers(), 3u);
+}
+
+TEST(ServeScheduler, ExpiredDeadlineHandsOutcomeExpired)
+{
+    Scheduler::Options opts;
+    opts.workers = 1;
+    Scheduler sched(opts);
+
+    Gate gate;
+    ASSERT_EQ(sched.submit(1, gate.job()), Scheduler::Submit::Queued);
+    gate.awaitEntered(); // the deadline below elapses while queued
+
+    std::atomic<int> ran{0}, expired{0};
+    Scheduler::Task task;
+    task.job = [&](Scheduler::Outcome outcome) {
+        if (outcome == Scheduler::Outcome::Run)
+            ++ran;
+        else if (outcome == Scheduler::Outcome::Expired)
+            ++expired;
+    };
+    task.deadline = Scheduler::Clock::now() -
+                    std::chrono::milliseconds(1); // already past
+    ASSERT_EQ(sched.submit(1, std::move(task)),
+              Scheduler::Submit::Queued);
+
+    gate.release();
+    sched.stop();
+    EXPECT_EQ(ran.load(), 0);
+    EXPECT_EQ(expired.load(), 1);
+    EXPECT_EQ(sched.stats().expired, 1u);
+}
+
+TEST(ServeScheduler, CancelTokenHandsOutcomeCancelled)
+{
+    Scheduler::Options opts;
+    opts.workers = 1;
+    Scheduler sched(opts);
+
+    Gate gate;
+    ASSERT_EQ(sched.submit(1, gate.job()), Scheduler::Submit::Queued);
+    gate.awaitEntered();
+
+    auto cancel = std::make_shared<std::atomic<bool>>(false);
+    std::atomic<int> ran{0}, cancelled{0};
+    for (int i = 0; i < 3; ++i) {
+        Scheduler::Task task;
+        task.job = [&](Scheduler::Outcome outcome) {
+            if (outcome == Scheduler::Outcome::Run)
+                ++ran;
+            else if (outcome == Scheduler::Outcome::Cancelled)
+                ++cancelled;
+        };
+        task.cancel = cancel;
+        ASSERT_EQ(sched.submit(1, std::move(task)),
+                  Scheduler::Submit::Queued);
+    }
+    cancel->store(true); // the "client disconnected" moment
+
+    gate.release();
+    sched.stop();
+    EXPECT_EQ(ran.load(), 0);
+    EXPECT_EQ(cancelled.load(), 3);
+    EXPECT_EQ(sched.stats().cancelled, 3u);
+}
+
+TEST(ServeScheduler, PoolWideCapSheds)
+{
+    Scheduler::Options opts;
+    opts.workers = 1;
+    opts.maxQueuedPerClient = 8;
+    opts.maxQueuedTotal = 2;
+    Scheduler sched(opts);
+
+    Gate gate;
+    ASSERT_EQ(sched.submit(1, gate.job()), Scheduler::Submit::Queued);
+    gate.awaitEntered();
+
+    std::atomic<int> ran{0};
+    auto bump = [&] { ++ran; };
+    // Two distinct clients fill the pool; a third is shed even though
+    // its own queue is empty (pool-wide overload, not client flood).
+    EXPECT_EQ(sched.submit(2, bump), Scheduler::Submit::Queued);
+    EXPECT_EQ(sched.submit(3, bump), Scheduler::Submit::Queued);
+    EXPECT_EQ(sched.submit(4, bump), Scheduler::Submit::Shed);
+    EXPECT_EQ(sched.stats().shed, 1u);
+    EXPECT_EQ(sched.stats().rejected, 0u);
+
+    gate.release();
+    sched.stop();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ServeScheduler, SubmitOverFullQueueReapsDeadEntries)
+{
+    Scheduler::Options opts;
+    opts.workers = 1;
+    opts.maxQueuedPerClient = 2;
+    Scheduler sched(opts);
+
+    Gate gate;
+    ASSERT_EQ(sched.submit(1, gate.job()), Scheduler::Submit::Queued);
+    gate.awaitEntered();
+
+    // Fill client 2's queue, then kill both entries via the token.
+    auto cancel = std::make_shared<std::atomic<bool>>(false);
+    std::atomic<int> cancelled{0}, ran{0};
+    for (int i = 0; i < 2; ++i) {
+        Scheduler::Task task;
+        task.job = [&](Scheduler::Outcome outcome) {
+            if (outcome == Scheduler::Outcome::Cancelled)
+                ++cancelled;
+        };
+        task.cancel = cancel;
+        ASSERT_EQ(sched.submit(2, std::move(task)),
+                  Scheduler::Submit::Queued);
+    }
+    cancel->store(true);
+
+    // At the cap — but the dead entries are reaped, so this fresh
+    // non-blocking submit is accepted, not rejected.
+    EXPECT_EQ(sched.submit(2, [&] { ++ran; }),
+              Scheduler::Submit::Queued);
+    EXPECT_EQ(cancelled.load(), 2); // reaped synchronously on submit
+    EXPECT_EQ(sched.stats().cancelled, 2u);
+
+    gate.release();
+    sched.stop();
+    EXPECT_EQ(ran.load(), 1);
 }
 
 } // namespace
