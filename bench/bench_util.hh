@@ -23,6 +23,7 @@
 #include "sim/session.hh"
 #include "soc/soc.hh"
 #include "sweep/grid.hh"
+#include "sweep/journal.hh"
 #include "sweep/runner.hh"
 #include "sweep/table.hh"
 #include "systolic/generator.hh"
@@ -194,6 +195,13 @@ fullSweepRequested()
  *   --fuse M      superinstruction fusion on the compiled backend:
  *                 "on" or "off" (overrides EQ_SIM_FUSE; default on;
  *                 results are identical, only wall time differs)
+ *   --journal P   journal completed points to P (sweep/journal.hh);
+ *                 with --resume, replay an existing journal and
+ *                 recompute only what is missing
+ *   --cache P     content-keyed result cache file: unchanged points
+ *                 keep hitting it after the grid around them changes
+ *   --fsync       fsync the journal after every record (bounds crash
+ *                 loss to the in-flight points)
  * Unrecognized arguments are preserved in @ref positional for
  * harness-specific parsing (e.g. systolic_explorer's shape).
  */
@@ -204,6 +212,10 @@ struct HarnessArgs {
     bool noWall = false;
     sim::Backend backend = sim::Backend::Auto;
     sim::Fusion fuse = sim::Fusion::Auto;
+    std::string journalPath;
+    bool resume = false;
+    std::string cachePath;
+    bool fsyncEachRecord = false;
     std::vector<std::string> positional;
 
     static HarnessArgs
@@ -239,6 +251,14 @@ struct HarnessArgs {
                 a.jsonPath = next();
             else if (arg == "--no-wall")
                 a.noWall = true;
+            else if (arg == "--journal")
+                a.journalPath = next();
+            else if (arg == "--resume")
+                a.resume = true;
+            else if (arg == "--cache")
+                a.cachePath = next();
+            else if (arg == "--fsync")
+                a.fsyncEachRecord = true;
             else if (arg == "--backend") {
                 std::string v = next();
                 if (v == "interp")
@@ -294,6 +314,29 @@ struct HarnessArgs {
         return o;
     }
 
+    /** The durability knobs as runJournaledSweep options. @p salt
+     *  names this harness's sweep identity (harness name + fixed
+     *  config), so a journal from a different figure refuses to
+     *  resume even when the grids coincide. */
+    sweep::JournalOptions
+    journalOptions(const std::string &salt) const
+    {
+        sweep::JournalOptions o;
+        o.journalPath = journalPath;
+        o.resume = resume;
+        o.cachePath = cachePath;
+        o.fsyncEachRecord = fsyncEachRecord;
+        o.salt = salt;
+        return o;
+    }
+
+    /** True when any durability flag asks for the journaled path. */
+    bool
+    wantsDurability() const
+    {
+        return !journalPath.empty() || !cachePath.empty();
+    }
+
     /** Print @p table to stdout and write any requested CSV/JSON.
      *  With --no-wall, wall-clock columns (by convention named with an
      *  `_s` seconds suffix) are dropped, leaving only deterministic
@@ -339,6 +382,62 @@ struct HarnessArgs {
             writeFile(jsonPath, /*json=*/true);
     }
 };
+
+/**
+ * Run a harness sweep with the crash-safety layer when the user asked
+ * for it (--journal/--cache), else the plain SweepRunner path —
+ * byte-identical tables either way for deterministic columns
+ * (wall-clock columns replay recorded values; --no-wall drops them
+ * before comparison, as always).
+ *
+ * The content key of a point is @p salt plus its axis values in grid
+ * order — enough identity for a harness whose fixed config is folded
+ * into the salt. A refused journal (header mismatch, mid-file
+ * corruption) exits with eqsweep's structured-error discipline rather
+ * than silently recomputing: exit 3 = journal_header_mismatch,
+ * 4 = journal_corrupt, 1 = I/O.
+ */
+inline sweep::Table
+runSweep(const HarnessArgs &args, const sweep::SweepRunner &runner,
+         const std::vector<sweep::Point> &points,
+         std::vector<sweep::Column> schema, const std::string &salt,
+         const sweep::SweepRunner::RowFn &fn)
+{
+    if (!args.wantsDurability())
+        return runner.run(points, std::move(schema), fn);
+
+    auto keyFn = [&salt](const sweep::Point &p) {
+        std::string key = salt;
+        for (int64_t v : p.values()) {
+            key += ' ';
+            key += std::to_string(v);
+        }
+        return key;
+    };
+    sweep::Table table{schema};
+    sweep::ResumeStats stats;
+    std::string err;
+    sweep::JournalStatus status = sweep::runJournaledSweep(
+        runner, points, std::move(schema), keyFn, fn,
+        args.journalOptions(salt), args.engineOptions(), &table,
+        &stats, &err);
+    if (status != sweep::JournalStatus::Ok) {
+        std::fprintf(stderr, "error: {\"code\":\"%s\"}: %s\n",
+                     sweep::journalStatusName(status), err.c_str());
+        switch (status) {
+        case sweep::JournalStatus::HeaderMismatch: std::exit(3);
+        case sweep::JournalStatus::Corrupt: std::exit(4);
+        default: std::exit(1);
+        }
+    }
+    std::fprintf(stderr,
+                 "# resume: computed=%zu journal=%zu cache=%zu "
+                 "truncated_bytes=%llu\n",
+                 stats.computed, stats.fromJournal, stats.fromCache,
+                 static_cast<unsigned long long>(
+                     stats.journalTruncatedBytes));
+    return table;
+}
 
 /** The dataflow axis every systolic sweep shares (axis value -> df). */
 inline scalesim::Dataflow

@@ -92,8 +92,9 @@ main(int argc, char **argv)
         {"loopIters", sweep::ValueKind::Int, 10, 0},
     };
 
-    auto table = runner.run(
-        points, schema,
+    auto table = bench::runSweep(
+        args, runner, points, schema,
+        full ? "fig12 full" : "fig12 sampled",
         [&](const sweep::Point &p, unsigned w) -> std::vector<sweep::Cell> {
             const scalesim::Config &cfg = cfgs[p.index()];
             auto run = workers[w]->run(cfg);

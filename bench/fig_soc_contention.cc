@@ -85,8 +85,9 @@ main(int argc, char **argv)
         {"wall_s", sweep::ValueKind::Real, 10, 4},
     };
 
-    auto table = runner.run(
-        points, schema,
+    auto table = bench::runSweep(
+        args, runner, points, schema,
+        full ? "fig_soc_contention full" : "fig_soc_contention sampled",
         [&](const sweep::Point &p, unsigned w) -> std::vector<sweep::Cell> {
             auto run = workers[w]->run(
                 configAt(p.at("tiles"), p.at("dmas"), p.at("bus_bw")));

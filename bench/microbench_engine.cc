@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include "bench_util.hh"
 #include "dialects/affine.hh"
 #include "dialects/arith.hh"
@@ -424,6 +426,56 @@ BENCHMARK_CAPTURE(BM_ServeWarmVsCold, cold, false)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_ServeWarmVsCold, warm, true)
     ->Unit(benchmark::kMicrosecond);
+
+void
+BM_SweepResume(benchmark::State &state, bool warm)
+{
+    // The crash-safe sweep layer's economics: a cold sweep simulates
+    // every grid point; a warm one finds them all in the content-keyed
+    // result cache and only replays rows. The ratio is the per-re-plot
+    // win of --cache after nothing (or little) changed.
+    serve::SweepSpec spec;
+    spec.base = serve::defaultKey(serve::ModelKind::Systolic);
+    spec.axes = {{"ah", {2, 4, 8}}, {"aw", {2, 4, 8}}};
+
+    sim::EngineOptions engine; // Auto: whatever the run selected
+    sweep::Grid grid = spec.grid();
+    std::vector<sweep::Point> points = grid.points();
+
+    char dirTemplate[] = "/tmp/eqsim_bm_sweep_XXXXXX";
+    const char *dir = mkdtemp(dirTemplate);
+    sweep::JournalOptions opts;
+    if (warm && dir) {
+        opts.cachePath = std::string(dir) + "/cache.ndjson";
+        sweep::Table primer{spec.schema()};
+        sweep::ResumeStats st;
+        std::string err;
+        serve::runLocalSweepDurable(spec, points, 1, engine, opts,
+                                    &primer, &st, &err);
+    }
+    for (auto _ : state) {
+        sweep::Table table{spec.schema()};
+        sweep::ResumeStats st;
+        std::string err;
+        if (warm) {
+            serve::runLocalSweepDurable(spec, points, 1, engine, opts,
+                                        &table, &st, &err);
+        } else {
+            table = serve::runLocalSweep(spec, 1, engine);
+        }
+        benchmark::DoNotOptimize(table.numRows());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            int64_t(points.size()));
+    if (dir) {
+        std::remove((std::string(dir) + "/cache.ndjson").c_str());
+        ::rmdir(dir);
+    }
+}
+BENCHMARK_CAPTURE(BM_SweepResume, cold, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SweepResume, warm, true)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -13,8 +13,9 @@ Usage:
 Benchmarks are matched by exact name ("BM_SimulateSystolic/8"); the
 --track prefixes select which families gate the build (default:
 BM_SimulateSystolic, BM_EventDispatch, BM_CompiledVsInterp,
-BM_FusedVsCompiled, BM_SoCContention, and the serving layer's
-BM_ServeWarmVsCold cache legs). Untracked benchmarks are
+BM_FusedVsCompiled, BM_SoCContention, the serving layer's
+BM_ServeWarmVsCold cache legs, and the sweep durability layer's
+BM_SweepResume warm/cold legs). Untracked benchmarks are
 reported informationally. Stdlib only.
 
 Build-type guard: timings from a debug build are meaningless to gate
@@ -71,7 +72,8 @@ def main():
     ap.add_argument("--track", nargs="*",
                     default=["BM_SimulateSystolic", "BM_EventDispatch",
                              "BM_CompiledVsInterp", "BM_FusedVsCompiled",
-                             "BM_SoCContention", "BM_ServeWarmVsCold"],
+                             "BM_SoCContention", "BM_ServeWarmVsCold",
+                             "BM_SweepResume"],
                     help="benchmark-name prefixes that gate the build")
     ap.add_argument("--metric", default="cpu_time",
                     choices=["cpu_time", "real_time"])

@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Fault-tolerant cross-process sweep dispatch over eqsweep shards.
+
+The unit of dispatch is the shard manifest: eqsweep --emit-shards
+partitions the grid into dense point-index ranges and writes one
+manifest per shard (plus the spec the manifests were derived from).
+This driver launches each manifest as its own `eqsweep --shard`
+process and babysits the fleet:
+
+  liveness    every shard heartbeats after each computed point by
+              atomically rewriting a one-line JSON file; the monitor
+              treats a live process whose beat counter has not moved
+              within --stall-timeout as a straggler and kills it;
+  retry       a dead shard (crashed, killed, stuck) is relaunched up
+              to --max-retries times; relaunch is always safe because
+              shards journal every completed point and resume by
+              replaying their journal — a relaunched shard recomputes
+              only what its journal does not already hold;
+  refusal     exit codes 3 (header mismatch) and 4 (corrupt journal)
+              are structured refusals, not transient faults, and are
+              never retried — they mean the on-disk state does not
+              describe this sweep and a human has to look;
+  merge       once every shard has finished, `eqsweep --merge` folds
+              the shard journals into one table, byte-identical to a
+              single-process run (the determinism guarantee is what
+              makes kill/relaunch invisible in the output).
+
+Importable: sweep_chaos.py drives the same Dispatcher with a
+chaos_kill hook to SIGKILL shards mid-flight and then asserts the
+merged CSV anyway matches the fault-free reference.
+
+Usage: sweep_dispatch.py [--build DIR] [--shards N] [--out CSV]
+                         [--stall-timeout S] [--max-retries N]
+                         [eqsweep spec args: --model/--config/--axis
+                          or --spec FILE]
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+# eqsweep's exit-code vocabulary (see src/sweep/eqsweep_main.cc).
+EXIT_OK = 0
+EXIT_IO = 1
+EXIT_USAGE = 2
+EXIT_HEADER_MISMATCH = 3
+EXIT_CORRUPT = 4
+EXIT_INCOMPLETE = 5
+NON_RETRYABLE = {EXIT_USAGE, EXIT_HEADER_MISMATCH, EXIT_CORRUPT}
+
+
+class DispatchError(RuntimeError):
+    """The dispatch cannot make progress; carries the shard's exit
+    code when a structured refusal stopped it."""
+
+    def __init__(self, message, exit_code=None):
+        super().__init__(message)
+        self.exit_code = exit_code
+
+
+def emit_shards(eqsweep, spec_args, num_shards, shard_dir):
+    """Partition the sweep: returns the manifest paths eqsweep wrote."""
+    os.makedirs(shard_dir, exist_ok=True)
+    proc = subprocess.run(
+        [eqsweep, "--emit-shards", str(num_shards),
+         "--shard-dir", shard_dir] + list(spec_args),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    if proc.returncode != 0:
+        raise DispatchError(
+            f"--emit-shards exited {proc.returncode}: "
+            f"{proc.stderr.decode().strip()}", proc.returncode)
+    paths = [l for l in proc.stdout.decode().splitlines() if l]
+    if not paths:
+        raise DispatchError("--emit-shards produced no manifests")
+    return paths
+
+
+def load_manifest(path):
+    with open(path) as f:
+        m = json.load(f)
+    if m.get("manifest") != "eqsweep-shard":
+        raise DispatchError(f"{path}: not a shard manifest")
+    return m
+
+
+def read_heartbeat(path):
+    """Beat counter from a shard's heartbeat file, or None before the
+    first beat. Torn reads are impossible (writes are atomic renames),
+    but a missing file is normal until the shard starts."""
+    try:
+        with open(path) as f:
+            return json.load(f).get("beat")
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+class Shard:
+    """One manifest's lifecycle across launches."""
+
+    def __init__(self, manifest_path):
+        self.manifest_path = manifest_path
+        manifest = load_manifest(manifest_path)
+        self.index = manifest["shard"]
+        self.heartbeat_path = manifest["heartbeat"]
+        self.journal_path = manifest["journal"]
+        self.proc = None
+        self.launches = 0
+        self.done = False
+        self.last_beat = None
+        self.last_progress = None  # wall time the beat last moved
+
+    def running(self):
+        return self.proc is not None and self.proc.poll() is None
+
+
+class Dispatcher:
+    """Launch every shard, keep the fleet alive, then merge."""
+
+    def __init__(self, eqsweep, manifest_paths, threads=1,
+                 max_retries=3, stall_timeout=60.0, poll=0.05,
+                 chaos_kill=None, log=None):
+        self.eqsweep = eqsweep
+        self.shards = [Shard(p) for p in manifest_paths]
+        self.threads = threads
+        self.max_retries = max_retries
+        self.stall_timeout = stall_timeout
+        self.poll = poll
+        # chaos_kill(dispatcher) runs once per monitor tick; the chaos
+        # harness uses it to SIGKILL shards mid-flight.
+        self.chaos_kill = chaos_kill
+        self.log = log or (lambda msg: None)
+        self.relaunches = 0
+
+    def launch(self, shard):
+        shard.launches += 1
+        shard.proc = subprocess.Popen(
+            [self.eqsweep, "--shard", shard.manifest_path,
+             "--threads", str(self.threads)],
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+        shard.last_progress = time.time()
+        self.log(f"shard {shard.index}: launch #{shard.launches} "
+                 f"(pid {shard.proc.pid})")
+
+    def kill(self, shard):
+        if shard.running():
+            shard.proc.send_signal(signal.SIGKILL)
+            shard.proc.wait()
+
+    def _reap(self, shard):
+        """Shard process exited: finished, refused, or died."""
+        code = shard.proc.returncode
+        stderr = shard.proc.stderr.read().decode()
+        if code == EXIT_OK:
+            shard.done = True
+            self.log(f"shard {shard.index}: done "
+                     f"(launch #{shard.launches})")
+            return
+        if code in NON_RETRYABLE:
+            raise DispatchError(
+                f"shard {shard.index} refused (exit {code}): "
+                f"{stderr.strip()}", code)
+        if shard.launches > self.max_retries:
+            raise DispatchError(
+                f"shard {shard.index} failed {shard.launches} times "
+                f"(last exit {code}): {stderr.strip()}", code)
+        self.relaunches += 1
+        self.log(f"shard {shard.index}: exit {code}, relaunching "
+                 f"with resume")
+        self.launch(shard)
+
+    def _check_stall(self, shard, now):
+        """A live process whose heartbeat stopped moving is a
+        straggler: kill it and let the reap path relaunch it."""
+        beat = read_heartbeat(shard.heartbeat_path)
+        if beat is not None and beat != shard.last_beat:
+            shard.last_beat = beat
+            shard.last_progress = now
+            return
+        if now - shard.last_progress > self.stall_timeout:
+            self.log(f"shard {shard.index}: heartbeat stalled "
+                     f"{self.stall_timeout:.0f}s, killing straggler")
+            self.kill(shard)
+
+    def run(self):
+        """Drive every shard to completion. Raises DispatchError when
+        a shard refuses or exhausts its retries."""
+        try:
+            for shard in self.shards:
+                self.launch(shard)
+            while not all(s.done for s in self.shards):
+                if self.chaos_kill:
+                    self.chaos_kill(self)
+                now = time.time()
+                for shard in self.shards:
+                    if shard.done:
+                        continue
+                    if shard.running():
+                        self._check_stall(shard, now)
+                    else:
+                        self._reap(shard)
+                time.sleep(self.poll)
+        finally:
+            for shard in self.shards:
+                self.kill(shard)
+
+    def merge(self, shard_dir, csv_path=None):
+        """Fold the shard journals into the final table."""
+        argv = [self.eqsweep, "--merge", shard_dir]
+        if csv_path:
+            argv += ["--csv", csv_path]
+        proc = subprocess.run(argv, stdout=subprocess.PIPE,
+                              stderr=subprocess.PIPE)
+        if proc.returncode != 0:
+            raise DispatchError(
+                f"--merge exited {proc.returncode}: "
+                f"{proc.stderr.decode().strip()}", proc.returncode)
+        return proc.stdout
+
+
+def dispatch_sweep(eqsweep, spec_args, shard_dir, num_shards,
+                   csv_path=None, threads=1, max_retries=3,
+                   stall_timeout=60.0, chaos_kill=None, log=None):
+    """emit-shards -> dispatch -> merge; returns the merged CSV bytes
+    (empty when csv_path routed the table to a file)."""
+    manifests = emit_shards(eqsweep, spec_args, num_shards, shard_dir)
+    d = Dispatcher(eqsweep, manifests, threads=threads,
+                   max_retries=max_retries, stall_timeout=stall_timeout,
+                   chaos_kill=chaos_kill, log=log)
+    d.run()
+    return d.merge(shard_dir, csv_path)
+
+
+def main():
+    argv = sys.argv[1:]
+    build_dir, shards, out_csv = "build", 4, None
+    stall_timeout, max_retries = 60.0, 3
+    spec_args = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--build":
+            build_dir = argv[i + 1]; i += 2
+        elif arg == "--shards":
+            shards = int(argv[i + 1]); i += 2
+        elif arg == "--out":
+            out_csv = argv[i + 1]; i += 2
+        elif arg == "--stall-timeout":
+            stall_timeout = float(argv[i + 1]); i += 2
+        elif arg == "--max-retries":
+            max_retries = int(argv[i + 1]); i += 2
+        else:
+            spec_args.append(arg); i += 1
+    if not spec_args:
+        spec_args = ["--model", "systolic",
+                     "--axis", "ah=2,4,8", "--axis", "aw=2,4,8"]
+    eqsweep = os.path.join(build_dir, "src", "eqsweep")
+    import tempfile
+    shard_dir = tempfile.mkdtemp(prefix="eqsweep-dispatch-")
+    try:
+        csv = dispatch_sweep(
+            eqsweep, spec_args, shard_dir, shards, csv_path=out_csv,
+            max_retries=max_retries, stall_timeout=stall_timeout,
+            log=lambda m: print(f"# {m}", file=sys.stderr))
+        if not out_csv:
+            sys.stdout.write(csv.decode())
+    except DispatchError as e:
+        print(f"sweep_dispatch: {e}", file=sys.stderr)
+        sys.exit(e.exit_code or 1)
+    finally:
+        import shutil
+        shutil.rmtree(shard_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

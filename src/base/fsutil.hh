@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small filesystem durability helpers shared by the sweep journal,
+ * shard manifests/heartbeats, and the daemon's --port-file: an
+ * atomic whole-file write (temp file + fsync + rename, so a racing
+ * reader can never observe a partial file) and the IEEE CRC32 the
+ * journal uses to detect torn or bit-flipped records.
+ */
+
+#ifndef EQ_BASE_FSUTIL_HH
+#define EQ_BASE_FSUTIL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace eq {
+namespace fs {
+
+/** IEEE CRC32 (the zlib polynomial) over @p len bytes, continuing
+ *  from @p seed (pass a previous return value to chain buffers). */
+uint32_t crc32(const void *data, size_t len, uint32_t seed = 0);
+
+/**
+ * Write @p data to @p path atomically: the bytes land in a temp file
+ * in the same directory, are fsync'd, and the temp file is rename(2)d
+ * over @p path (then the directory is fsync'd best-effort). Readers
+ * therefore see either the old file or the complete new one — never a
+ * prefix. Returns false (with @p err) on any failure; the temp file
+ * is cleaned up.
+ */
+bool writeFileAtomic(const std::string &path, const std::string &data,
+                     std::string *err = nullptr);
+
+/** Slurp @p path into @p out. Returns false (with @p err) on error. */
+bool readFile(const std::string &path, std::string *out,
+              std::string *err = nullptr);
+
+/** True when @p path exists (any file type). */
+bool fileExists(const std::string &path);
+
+} // namespace fs
+} // namespace eq
+
+#endif // EQ_BASE_FSUTIL_HH

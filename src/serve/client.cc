@@ -317,20 +317,9 @@ Client::sweepTableOnce(const SweepSpec &spec, sweep::Table *out,
         }
         seen[index] = true;
         std::vector<sweep::Cell> row;
-        row.reserve(schema.size());
-        for (size_t c = 0; c < schema.size(); ++c) {
-            const Json &v = cells->at(c);
-            switch (schema[c].kind) {
-            case sweep::ValueKind::Int:
-                row.push_back(sweep::Cell(v.asInt()));
-                break;
-            case sweep::ValueKind::Real:
-                row.push_back(sweep::Cell(v.asReal()));
-                break;
-            case sweep::ValueKind::Str:
-                row.push_back(sweep::Cell(v.asStr()));
-                break;
-            }
+        if (!cellsFromJson(*cells, schema, &row, err)) {
+            close();
+            return false;
         }
         rows[index] = std::move(row);
         ++received;

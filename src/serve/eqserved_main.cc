@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "base/fsutil.hh"
 #include "serve/faults.hh"
 #include "serve/server.hh"
 
@@ -189,12 +190,14 @@ main(int argc, char **argv)
     }
 
     if (!portFile.empty()) {
-        if (FILE *f = std::fopen(portFile.c_str(), "w")) {
-            std::fprintf(f, "%u\n", unsigned(server.port()));
-            std::fclose(f);
-        } else {
+        // Atomic (temp + rename): a script polling for the file can
+        // never read a half-written or empty port line.
+        std::string werr;
+        if (!fs::writeFileAtomic(
+                portFile, std::to_string(unsigned(server.port())) + "\n",
+                &werr)) {
             std::fprintf(stderr, "eqserved: cannot write %s: %s\n",
-                         portFile.c_str(), std::strerror(errno));
+                         portFile.c_str(), werr.c_str());
             server.shutdown();
             server.wait();
             return 1;

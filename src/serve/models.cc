@@ -621,6 +621,20 @@ SweepSpec::validate(std::string *err) const
     return true;
 }
 
+std::string
+SweepSpec::pointKey(const sweep::Point &point) const
+{
+    return std::string(modelName(base.kind)) + " " +
+           modelKeyToJson(keyAt(point)).dump();
+}
+
+std::string
+SweepSpec::saltString() const
+{
+    return std::string(modelName(base.kind)) + " " +
+           modelKeyToJson(base).dump();
+}
+
 Json
 SweepSpec::toJson() const
 {
@@ -733,6 +747,57 @@ runLocalSweep(const SweepSpec &spec, unsigned threads,
             }
             return spec.row(p, worker.session.run());
         });
+}
+
+sweep::JournalStatus
+runLocalSweepDurable(const SweepSpec &spec,
+                     const std::vector<sweep::Point> &points,
+                     unsigned threads, sim::EngineOptions engine,
+                     const sweep::JournalOptions &opts,
+                     sweep::Table *out, sweep::ResumeStats *stats,
+                     std::string *err,
+                     const std::function<void(const sweep::Point &)>
+                         &on_point)
+{
+    sweep::RunnerOptions ropts;
+    ropts.threads = threads;
+    sweep::SweepRunner runner(ropts);
+
+    // Same per-worker Session discipline as runLocalSweep — worker w
+    // only ever runs on one thread, so no locking.
+    struct Worker {
+        explicit Worker(sim::EngineOptions opts) : session(opts) {}
+        sim::Session session;
+        ModelKey key;
+        bool hasKey = false;
+    };
+    std::vector<std::unique_ptr<Worker>> workers;
+    unsigned n = runner.threadsFor(points.size());
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.push_back(std::make_unique<Worker>(engine));
+
+    return sweep::runJournaledSweep(
+        runner, points, spec.schema(),
+        [&](const sweep::Point &p) { return spec.pointKey(p); },
+        [&](const sweep::Point &p,
+            unsigned w) -> std::vector<sweep::Cell> {
+            Worker &worker = *workers[w];
+            ModelKey key = spec.keyAt(p);
+            if (!worker.hasKey || worker.key != key) {
+                worker.session.rebuild([&](ir::Context &ctx) {
+                    return key.build(ctx);
+                });
+                worker.key = key;
+                worker.hasKey = true;
+            }
+            std::vector<sweep::Cell> cells =
+                spec.row(p, worker.session.run());
+            if (on_point)
+                on_point(p);
+            return cells;
+        },
+        opts, engine, out, stats, err);
 }
 
 } // namespace serve

@@ -34,6 +34,7 @@
 #include "sim/engine.hh"
 #include "soc/soc.hh"
 #include "sweep/grid.hh"
+#include "sweep/journal.hh"
 #include "sweep/runner.hh"
 #include "sweep/table.hh"
 
@@ -130,6 +131,18 @@ struct SweepSpec {
     /** Check every axis name/value against the base key. */
     bool validate(std::string *err) const;
 
+    /** Content key of @p point for the result cache: the model name
+     *  plus the *full resolved config* simulated there (base + axis
+     *  overrides), not the point's grid coordinates — so a config
+     *  keeps hitting the cache after the grid around it changes. */
+    std::string pointKey(const sweep::Point &point) const;
+
+    /** The sweep identity beyond the grid (model name + base config) —
+     *  what JournalOptions::salt carries into the journal header so a
+     *  journal from a different model/base refuses to resume even when
+     *  the grids coincide. */
+    std::string saltString() const;
+
     Json toJson() const;
     static bool fromJson(const Json &request, SweepSpec *out,
                          std::string *err);
@@ -142,6 +155,24 @@ struct SweepSpec {
  */
 sweep::Table runLocalSweep(const SweepSpec &spec, unsigned threads = 0,
                            sim::EngineOptions engine = {});
+
+/**
+ * runLocalSweep with the crash-safety layer (sweep/journal.hh): rows
+ * found in the journal (by dense index) or result cache (by
+ * pointKey()) are replayed, the rest simulated and journaled as they
+ * complete. @p points selects the slice to run — a shard's sub-range,
+ * or the grid's full point set (pass spec.grid().points()); the
+ * points must come from this spec's grid. Table assembly and refusal
+ * semantics are runJournaledSweep's. @p on_point (optional) fires
+ * after each freshly *computed* point, on the worker thread that ran
+ * it — the shard heartbeat hook; the callee synchronizes.
+ */
+sweep::JournalStatus runLocalSweepDurable(
+    const SweepSpec &spec, const std::vector<sweep::Point> &points,
+    unsigned threads, sim::EngineOptions engine,
+    const sweep::JournalOptions &opts, sweep::Table *out,
+    sweep::ResumeStats *stats, std::string *err,
+    const std::function<void(const sweep::Point &)> &on_point = {});
 
 } // namespace serve
 } // namespace eq

@@ -613,6 +613,76 @@ reportToJson(const sim::SimReport &report, bool include_wall)
 }
 
 Json
+cellToJson(const sweep::Cell &cell)
+{
+    switch (cell.kind()) {
+    case sweep::ValueKind::Int: return Json(cell.asInt());
+    case sweep::ValueKind::Real: return Json(cell.asReal());
+    case sweep::ValueKind::Str: return Json(cell.asStr());
+    }
+    return Json();
+}
+
+Json
+cellsToJson(const std::vector<sweep::Cell> &cells)
+{
+    Json out = Json::array();
+    for (const auto &cell : cells)
+        out.push(cellToJson(cell));
+    return out;
+}
+
+bool
+cellsFromJson(const Json &cells,
+              const std::vector<sweep::Column> &schema,
+              std::vector<sweep::Cell> *out, std::string *err)
+{
+    if (!cells.isArray() || cells.size() != schema.size()) {
+        if (err)
+            *err = "row has " + std::to_string(cells.size()) +
+                   " cells, schema has " +
+                   std::to_string(schema.size()) + " columns";
+        return false;
+    }
+    out->clear();
+    out->reserve(schema.size());
+    for (size_t c = 0; c < schema.size(); ++c) {
+        const Json &v = cells.at(c);
+        switch (schema[c].kind) {
+        case sweep::ValueKind::Int:
+            if (!v.isInt()) {
+                if (err)
+                    *err = "column '" + schema[c].name +
+                           "' expects an integer cell";
+                return false;
+            }
+            out->push_back(sweep::Cell(v.asInt()));
+            break;
+        case sweep::ValueKind::Real:
+            // Integral reals serialize as JSON ints; re-promote.
+            if (!v.isNumber()) {
+                if (err)
+                    *err = "column '" + schema[c].name +
+                           "' expects a numeric cell";
+                return false;
+            }
+            out->push_back(sweep::Cell(v.asReal()));
+            break;
+        case sweep::ValueKind::Str:
+            if (!v.isStr()) {
+                if (err)
+                    *err = "column '" + schema[c].name +
+                           "' expects a string cell";
+                return false;
+            }
+            out->push_back(sweep::Cell(v.asStr()));
+            break;
+        }
+    }
+    return true;
+}
+
+Json
 makeResponse(const Json *id, const std::string &type)
 {
     Json out = Json::object();

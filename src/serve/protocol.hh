@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "sim/report.hh"
+#include "sweep/table.hh"
 
 namespace eq {
 namespace serve {
@@ -216,6 +217,25 @@ bool writeLine(int fd, const std::string &line);
  * byte-comparing warm and cold runs of the same config.
  */
 Json reportToJson(const sim::SimReport &report, bool include_wall = true);
+
+/**
+ * sweep::Cell <-> Json codec shared by every consumer that moves rows
+ * through JSON: the daemon's streamed sweep rows, the client's
+ * re-merge, the sweep journal's records, and the result cache. Int
+ * and Real stay distinct (a Real whose value is integral serializes
+ * as a JSON integer and is re-promoted by the schema on decode), so a
+ * row survives the round trip byte-identically under the table's
+ * renderers.
+ */
+Json cellToJson(const sweep::Cell &cell);
+Json cellsToJson(const std::vector<sweep::Cell> &cells);
+
+/** Decode a row against @p schema: arity must match and every cell
+ *  must be kind-compatible with its column (Int column ⇐ JSON int,
+ *  Real ⇐ int or real, Str ⇐ string). False + @p err otherwise. */
+bool cellsFromJson(const Json &cells,
+                   const std::vector<sweep::Column> &schema,
+                   std::vector<sweep::Cell> *out, std::string *err);
 
 /** Standard response skeletons ("id" echoed, "ok" set). @p id may be
  *  any client-chosen Json value (servers echo it verbatim). Errors

@@ -281,17 +281,6 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
 
 namespace {
 
-Json
-cellToJson(const sweep::Cell &cell)
-{
-    switch (cell.kind()) {
-    case sweep::ValueKind::Int: return Json(cell.asInt());
-    case sweep::ValueKind::Real: return Json(cell.asReal());
-    case sweep::ValueKind::Str: return Json(cell.asStr());
-    }
-    return Json();
-}
-
 constexpr const char *kDeadlineMsg =
     "deadline elapsed before the run started";
 
@@ -463,10 +452,8 @@ Server::handleSweep(const std::shared_ptr<Conn> &conn, Json request,
                 sim::SimReport report = handle.run();
                 Json resp = makeResponse(&state->id, "row");
                 resp.set("index", point.index());
-                Json cells = Json::array();
-                for (const auto &cell : state->spec.row(point, report))
-                    cells.push(cellToJson(cell));
-                resp.set("cells", std::move(cells));
+                resp.set("cells",
+                         cellsToJson(state->spec.row(point, report)));
                 conn->send(resp);
             } catch (const BuildError &e) {
                 sendPointError(ErrorCode::BuildFailed, e.what());
